@@ -1,0 +1,55 @@
+// Section 2.3 analysis: minimum buffer for lossless service, FIFO with
+// thresholds (eq. 9/10) versus WFQ (eq. 6), as reserved utilization
+// increases.  Two views:
+//   1. the 1/(1-u) inflation factor sweep, and
+//   2. the concrete Table 1 workload dimensioned by both disciplines.
+#include <iostream>
+
+#include "core/analysis.h"
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace bufq;
+
+  std::cout << "# Section 2.3: worst-case buffer requirements, FIFO+thresholds vs WFQ\n";
+  std::cout << "# FIFO needs sum(sigma)/(1-u); WFQ needs sum(sigma).\n\n";
+
+  // Sweep over reserved utilization for a normalized 1 MB of total burst.
+  const auto sigma = ByteSize::megabytes(1.0);
+  CsvWriter sweep{std::cout,
+                  {"utilization", "wfq_buffer_mb", "fifo_buffer_mb", "inflation"}};
+  for (double u = 0.0; u <= 0.96; u += 0.05) {
+    const double fifo = fifo_min_buffer_bytes(u, sigma) * 1e-6;
+    sweep.row({u, 1.0, fifo, fifo_buffer_inflation(u)});
+  }
+  std::cout << "\n";
+
+  // Concrete dimensioning of the Table 1 workload.
+  const auto specs = flow_specs(table1_flows());
+  const auto fifo_req = fifo_min_buffer_bytes(specs, paper_link_rate());
+  std::cout << "# Table 1 workload (u = "
+            << total_rate(specs).mbps() / paper_link_rate().mbps() << "):\n";
+  std::cout << "wfq_min_buffer_kb," << wfq_min_buffer_bytes(specs) * 1e-3 << "\n";
+  std::cout << "fifo_min_buffer_kb," << (fifo_req ? *fifo_req * 1e-3 : -1.0) << "\n";
+  std::cout << "ratio," << (fifo_req ? *fifo_req / wfq_min_buffer_bytes(specs) : -1.0)
+            << "\n\n";
+
+  // Admission-control view: how many identical flows each discipline
+  // admits into a fixed 2 MB buffer before going buffer-limited.
+  std::cout << "# Identical flows (rho = 2 Mb/s, sigma = 50 KB) admitted into 2 MB:\n";
+  CsvWriter admit{std::cout, {"discipline", "flows_admitted", "limiting_constraint"}};
+  for (auto [name, kind] :
+       {std::pair{"wfq", AdmissionController::Discipline::kWfq},
+        std::pair{"fifo+thresholds", AdmissionController::Discipline::kFifoThresholds}}) {
+    AdmissionController ac{kind, paper_link_rate(), ByteSize::megabytes(2.0)};
+    const FlowSpec flow{Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)};
+    AdmissionVerdict verdict = AdmissionVerdict::kAccepted;
+    while ((verdict = ac.try_admit(flow)) == AdmissionVerdict::kAccepted) {
+    }
+    admit.row({name, std::to_string(ac.admitted_count()),
+               verdict == AdmissionVerdict::kBandwidthLimited ? "bandwidth" : "buffer"});
+  }
+  return 0;
+}

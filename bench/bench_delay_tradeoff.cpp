@@ -1,0 +1,63 @@
+// The delay trade-off the paper concedes in Section 1: FIFO-with-
+// thresholds bounds delay only by the shared B/R, while WFQ gives
+// conformant flows per-flow isolation (and the hybrid sits in between).
+// Sweeps the buffer size and reports mean / p99 / max queueing delay of
+// the conformant flows, plus the analytic B/R bound for reference.
+#include <iostream>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace bufq;
+  using namespace bufq::bench;
+
+  const auto options = parse_options(argc, argv, {0.25, 0.5, 1.0, 2.0, 4.0});
+  print_banner(std::cout, "Delay trade-off (Section 1)",
+               "conformant-flow queueing delay under FIFO vs WFQ vs hybrid", options);
+
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.flows = table1_flows();
+  config.record_delays = true;
+  const auto conformant = table1_conformant_flows();
+
+  auto extract = [&](const ExperimentResult& r) {
+    double mean = 0.0, p99 = 0.0, max = 0.0;
+    for (FlowId f : conformant) {
+      const auto& d = r.delays[static_cast<std::size_t>(f)];
+      mean += d.mean_s;
+      p99 = std::max(p99, d.p99_s);
+      max = std::max(max, d.max_s);
+    }
+    return std::map<std::string, double>{
+        {"mean_ms", mean / static_cast<double>(conformant.size()) * 1e3},
+        {"p99_ms", p99 * 1e3},
+        {"max_ms", max * 1e3},
+    };
+  };
+
+  const std::vector<SchemeVariant> schemes{
+      {"fifo+thresholds", make_scheme(SchedulerKind::kFifo, ManagerKind::kThreshold)},
+      {"wfq+thresholds", make_scheme(SchedulerKind::kWfq, ManagerKind::kThreshold)},
+      {"hybrid+sharing",
+       make_scheme(SchedulerKind::kHybrid, ManagerKind::kSharing,
+                   ByteSize::megabytes(2.0), case1_groups())},
+  };
+
+  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "mean_ms", "p99_ms", "max_ms",
+                            "analytic_bound_B_over_R_ms"}};
+  for (double buffer_mb : options.buffers_mb) {
+    config.buffer = ByteSize::megabytes(buffer_mb);
+    const double bound_ms = buffer_mb * 1e6 * 8.0 / paper_link_rate().bps() * 1e3;
+    for (const auto& variant : schemes) {
+      config.scheme = variant.scheme;
+      const auto metrics = replicate(config, options, extract);
+      csv.row({format_double(buffer_mb), variant.name,
+               format_double(metrics.at("mean_ms").mean),
+               format_double(metrics.at("p99_ms").mean),
+               format_double(metrics.at("max_ms").mean), format_double(bound_ms)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Does the Section 4 grouping theory survive contact with the packet
+// simulator?  Runs the hybrid architecture on Table 1 and Table 2 with
+// (a) the paper's conformance-class grouping and (b) the buffer-optimal
+// grouping from core/grouping.h, at several buffer sizes, and compares
+// conformant loss and utilization.
+//
+// Expected shape: at generous buffers both groupings protect; at scarce
+// buffers the optimized grouping — which needs fewer bytes for the same
+// guarantees — should lose less.
+#include <iostream>
+
+#include "common.h"
+#include "core/grouping.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace bufq;
+  using namespace bufq::bench;
+
+  const auto options = parse_options(argc, argv, {0.1, 0.2, 0.3, 0.5, 1.0});
+  print_banner(std::cout, "Grouping in simulation",
+               "paper's grouping vs optimizer's grouping for the 3-queue hybrid", options);
+
+  struct Workload {
+    const char* name;
+    std::vector<TrafficProfile> flows;
+    std::vector<std::vector<FlowId>> paper_groups;
+    std::vector<FlowId> conformant;
+  };
+  const Workload workloads[] = {
+      {"table1", table1_flows(), case1_groups(), table1_conformant_flows()},
+      {"table2", table2_flows(), case2_groups(), table2_conformant_flows()},
+  };
+
+  CsvWriter csv{std::cout, {"workload", "buffer_mb", "grouping", "conformant_loss",
+                            "throughput_mbps", "lossless_buffer_kb"}};
+  for (const auto& workload : workloads) {
+    const auto specs = flow_specs(workload.flows);
+    const auto optimized = optimize_grouping(specs, 3, paper_link_rate());
+
+    ExperimentConfig config;
+    config.link_rate = paper_link_rate();
+    config.flows = workload.flows;
+    config.scheme.scheduler = SchedulerKind::kHybrid;
+    config.scheme.manager = ManagerKind::kSharing;
+    config.scheme.headroom = ByteSize::kilobytes(200.0);
+
+    for (double buffer_mb : options.buffers_mb) {
+      config.buffer = ByteSize::megabytes(buffer_mb);
+      for (const auto& [name, groups] :
+           {std::pair{"paper", workload.paper_groups},
+            std::pair{"optimized", optimized.groups}}) {
+        config.scheme.groups = groups;
+        const auto metrics = replicate(config, options, [&](const ExperimentResult& r) {
+          return std::map<std::string, double>{
+              {"loss", r.loss_ratio(workload.conformant)},
+              {"throughput", r.aggregate_throughput_mbps()},
+          };
+        });
+        csv.row({workload.name, format_double(buffer_mb), name,
+                 format_double(metrics.at("loss").mean),
+                 format_double(metrics.at("throughput").mean),
+                 format_double(grouping_buffer_bytes(specs, groups, paper_link_rate()) *
+                               1e-3)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// The paper's motivating claim (Section 1): buffer-management admission
+// is O(1) per packet while WFQ pays a sorted-structure cost that grows
+// with the number of flows.  Measures enqueue+dequeue cost per packet for
+// FIFO+thresholds and per-flow WFQ as the flow count doubles from 2 to
+// 16384.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/threshold.h"
+#include "sched/fifo.h"
+#include "sched/rpq.h"
+#include "sched/wfq.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bufq;
+
+constexpr std::int64_t kPkt = 500;
+
+/// Per-flow thresholds sized so every flow keeps a small backlog.
+std::vector<std::int64_t> make_thresholds(std::size_t flows) {
+  return std::vector<std::int64_t>(flows, 16 * kPkt);
+}
+
+/// Pre-generated arrival order touching every flow uniformly.
+std::vector<FlowId> make_arrivals(std::size_t flows, std::size_t count) {
+  Rng rng{12345};
+  std::vector<FlowId> order;
+  order.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    order.push_back(static_cast<FlowId>(rng.uniform_u64(flows)));
+  }
+  return order;
+}
+
+void prefill(QueueDiscipline& queue, std::size_t flows) {
+  // Keep ~8 packets per flow queued so dequeues always find work and the
+  // WFQ heap holds every class.
+  for (std::size_t round = 0; round < 8; ++round) {
+    for (std::size_t f = 0; f < flows; ++f) {
+      (void)queue.enqueue(
+          Packet{static_cast<FlowId>(f), kPkt, round, Time::zero()}, Time::zero());
+    }
+  }
+}
+
+void run_packet_loop(benchmark::State& state, QueueDiscipline& queue,
+                     const std::vector<FlowId>& arrivals) {
+  std::size_t i = 0;
+  std::uint64_t seq = 100;
+  for (auto _ : state) {
+    const FlowId flow = arrivals[i];
+    i = (i + 1) % arrivals.size();
+    (void)queue.enqueue(Packet{flow, kPkt, seq++, Time::zero()}, Time::zero());
+    auto packet = queue.dequeue(Time::zero());
+    benchmark::DoNotOptimize(packet);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FifoThresholds(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(flows) * 32 * kPkt),
+                           make_thresholds(flows)};
+  FifoScheduler fifo{manager};
+  prefill(fifo, flows);
+  const auto arrivals = make_arrivals(flows, 1 << 16);
+  run_packet_loop(state, fifo, arrivals);
+}
+
+void BM_WfqPerFlow(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(flows) * 32 * kPkt),
+                           make_thresholds(flows)};
+  WfqScheduler wfq{manager, Rate::megabits_per_second(48.0),
+                   std::vector<double>(flows, 1.0)};
+  prefill(wfq, flows);
+  const auto arrivals = make_arrivals(flows, 1 << 16);
+  run_packet_loop(state, wfq, arrivals);
+}
+
+BENCHMARK(BM_FifoThresholds)->RangeMultiplier(4)->Range(2, 1 << 14);
+BENCHMARK(BM_WfqPerFlow)->RangeMultiplier(4)->Range(2, 1 << 14);
+
+/// The hybrid middle ground: many flows, a small fixed number of WFQ
+/// classes (the paper's scalable architecture).
+void BM_HybridKClasses(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(flows) * 32 * kPkt),
+                           make_thresholds(flows)};
+  std::vector<std::size_t> flow_to_class(flows);
+  for (std::size_t f = 0; f < flows; ++f) flow_to_class[f] = f % k;
+  WfqScheduler wfq{manager, Rate::megabits_per_second(48.0), std::move(flow_to_class),
+                   std::vector<double>(k, 1.0)};
+  prefill(wfq, flows);
+  const auto arrivals = make_arrivals(flows, 1 << 16);
+  run_packet_loop(state, wfq, arrivals);
+}
+
+BENCHMARK(BM_HybridKClasses)->RangeMultiplier(4)->Range(8, 1 << 14);
+
+/// RPQ (the paper's reference [10]): near-EDF from a bounded slot
+/// calendar — cost independent of the flow count, like the FIFO scheme.
+void BM_RpqCalendar(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(flows) * 32 * kPkt),
+                           make_thresholds(flows)};
+  std::vector<Time> targets(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    targets[f] = Time::milliseconds(1 + static_cast<std::int64_t>(f % 16));
+  }
+  RpqScheduler rpq{manager, std::move(targets), Time::milliseconds(1)};
+  prefill(rpq, flows);
+  const auto arrivals = make_arrivals(flows, 1 << 16);
+  run_packet_loop(state, rpq, arrivals);
+}
+
+BENCHMARK(BM_RpqCalendar)->RangeMultiplier(4)->Range(2, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

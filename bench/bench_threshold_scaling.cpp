@@ -1,0 +1,105 @@
+// Ablation of the paper's footnote 5: when the buffer exceeds the sum of
+// analytic thresholds, should the thresholds be scaled up to fully
+// partition it?  Compares kScaleToFill vs kExact on the Table 1 workload
+// across buffer sizes (the difference only exists for large buffers,
+// where scaling hands the slack to whoever can use it — mostly the
+// aggressive flows).
+#include <iostream>
+#include <memory>
+
+#include "common.h"
+#include "core/threshold.h"
+#include "sched/fifo.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "stats/collector.h"
+#include "traffic/shaper.h"
+#include "traffic/sources.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace bufq;
+using namespace bufq::bench;
+
+/// Local pipeline so the scaling mode can be toggled (the standard
+/// ExperimentConfig always uses the paper's kScaleToFill).
+std::map<std::string, double> run_with_scaling(ThresholdScaling scaling, ByteSize buffer,
+                                               const BenchOptions& options,
+                                               std::uint64_t seed) {
+  const auto flows = table1_flows();
+  const auto specs = flow_specs(flows);
+  Simulator sim;
+  ThresholdManager manager{buffer, paper_link_rate(), specs, scaling};
+  FifoScheduler fifo{manager};
+  Link link{sim, fifo, paper_link_rate()};
+  StatsCollector stats{flows.size()};
+  link.set_delivery_handler([&](const Packet& p, Time t) { stats.on_delivered(p, t); });
+  fifo.set_drop_handler([&](const Packet& p, Time t) { stats.on_dropped(p, t); });
+  OfferedTrafficTap tap{stats, link};
+
+  Rng master{seed};
+  std::vector<std::unique_ptr<LeakyBucketShaper>> shapers;
+  std::vector<std::unique_ptr<MarkovOnOffSource>> sources;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    PacketSink* entry = &tap;
+    if (flows[f].regulated) {
+      shapers.push_back(std::make_unique<LeakyBucketShaper>(
+          sim, tap, flows[f].bucket, flows[f].token_rate, flows[f].peak_rate));
+      entry = shapers.back().get();
+    }
+    sources.push_back(std::make_unique<MarkovOnOffSource>(
+        sim, *entry,
+        MarkovOnOffSource::params_from_profile(static_cast<FlowId>(f), flows[f]),
+        master.fork(f)));
+    sources.back()->start();
+  }
+
+  std::vector<FlowCounters> at_warmup;
+  sim.at(options.warmup, [&] { at_warmup = stats.snapshot(); });
+  sim.run_until(options.warmup + options.duration);
+  const auto at_end = stats.snapshot();
+
+  std::int64_t delivered = 0, conformant_offered = 0, conformant_dropped = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const auto delta = at_end[f] - at_warmup[f];
+    delivered += delta.delivered_bytes;
+    if (f < 6) {
+      conformant_offered += delta.offered_bytes;
+      conformant_dropped += delta.dropped_bytes;
+    }
+  }
+  return {
+      {"throughput_mbps",
+       static_cast<double>(delivered) * 8.0 / options.duration.to_seconds() * 1e-6},
+      {"conformant_loss", conformant_offered > 0
+                              ? static_cast<double>(conformant_dropped) /
+                                    static_cast<double>(conformant_offered)
+                              : 0.0},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_options(argc, argv, {0.5, 1.0, 2.0, 3.0, 5.0, 8.0});
+  print_banner(std::cout, "Footnote 5 ablation",
+               "threshold scale-to-fill vs exact analytic thresholds", options);
+
+  CsvWriter csv{std::cout,
+                {"buffer_mb", "scaling", "throughput_mbps", "conformant_loss"}};
+  for (double buffer_mb : options.buffers_mb) {
+    for (auto [name, scaling] :
+         {std::pair{"scale-to-fill", ThresholdScaling::kScaleToFill},
+          std::pair{"exact", ThresholdScaling::kExact}}) {
+      ReplicationRunner runner{options.base_seed, options.seeds};
+      const auto metrics = runner.run([&](std::uint64_t seed) {
+        return run_with_scaling(scaling, ByteSize::megabytes(buffer_mb), options, seed);
+      });
+      csv.row({format_double(buffer_mb), name,
+               format_double(metrics.at("throughput_mbps").mean),
+               format_double(metrics.at("conformant_loss").mean)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace bufq::bench {
+namespace {
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    values.push_back(std::stod(item));
+  }
+  return values;
+}
+
+}  // namespace
+
+BenchOptions parse_options(int argc, const char* const* argv,
+                           std::vector<double> default_buffers_mb) {
+  Flags flags{argc, argv};
+  BenchOptions options;
+  options.seeds = static_cast<std::size_t>(flags.get_int("seeds", 5));
+  options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.warmup = Time::from_seconds(flags.get_double("warmup", 5.0));
+  options.duration = Time::from_seconds(flags.get_double("duration", 20.0));
+  if (const auto buffers = flags.get("buffers")) {
+    options.buffers_mb = parse_list(*buffers);
+  } else {
+    options.buffers_mb = std::move(default_buffers_mb);
+  }
+  const auto unknown = flags.unused();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (supported: --seeds --seed --warmup --duration --buffers)\n",
+                 unknown.front().c_str());
+    std::exit(2);
+  }
+  return options;
+}
+
+std::vector<SchemeVariant> threshold_figure_schemes() {
+  return {
+      {"fifo+thresholds", make_scheme(SchedulerKind::kFifo, ManagerKind::kThreshold)},
+      {"wfq+thresholds", make_scheme(SchedulerKind::kWfq, ManagerKind::kThreshold)},
+      {"fifo+no-bm", make_scheme(SchedulerKind::kFifo, ManagerKind::kNone)},
+      {"wfq+no-bm", make_scheme(SchedulerKind::kWfq, ManagerKind::kNone)},
+  };
+}
+
+std::vector<SchemeVariant> sharing_figure_schemes(ByteSize headroom) {
+  return {
+      {"fifo+sharing", make_scheme(SchedulerKind::kFifo, ManagerKind::kSharing, headroom)},
+      {"wfq+sharing", make_scheme(SchedulerKind::kWfq, ManagerKind::kSharing, headroom)},
+      {"fifo+no-bm", make_scheme(SchedulerKind::kFifo, ManagerKind::kNone)},
+      {"wfq+no-bm", make_scheme(SchedulerKind::kWfq, ManagerKind::kNone)},
+  };
+}
+
+std::vector<SchemeVariant> hybrid_figure_schemes(
+    ByteSize headroom, const std::vector<std::vector<FlowId>>& groups) {
+  return {
+      {"hybrid+sharing", make_scheme(SchedulerKind::kHybrid, ManagerKind::kSharing, headroom, groups)},
+      {"wfq+sharing", make_scheme(SchedulerKind::kWfq, ManagerKind::kSharing, headroom)},
+      {"fifo+sharing", make_scheme(SchedulerKind::kFifo, ManagerKind::kSharing, headroom)},
+  };
+}
+
+std::map<std::string, Summary> replicate(
+    ExperimentConfig config, const BenchOptions& options,
+    const std::function<std::map<std::string, double>(const ExperimentResult&)>& extract) {
+  config.warmup = options.warmup;
+  config.duration = options.duration;
+  ReplicationRunner runner{options.base_seed, options.seeds};
+  // Trials run concurrently: each takes its own copy of the config.
+  return runner.run([config, &extract](std::uint64_t seed) {
+    ExperimentConfig trial_config = config;
+    trial_config.seed = seed;
+    return extract(run_experiment(trial_config));
+  });
+}
+
+std::map<std::string, double> throughput_metric(const ExperimentResult& result) {
+  return {{"throughput_mbps", result.aggregate_throughput_mbps()}};
+}
+
+std::map<std::string, double> conformant_loss_metric(const ExperimentResult& result,
+                                                     const std::vector<FlowId>& conformant) {
+  return {{"loss_ratio", result.loss_ratio(conformant)}};
+}
+
+namespace {
+
+void print_profile_table(std::ostream& out, const std::vector<TrafficProfile>& flows,
+                         const char* title) {
+  out << title << "\n";
+  TextTable table{{"flow", "peak(Mb/s)", "avg(Mb/s)", "bucket(KB)", "tokenrate(Mb/s)",
+                   "burst(KB)", "regulated"}};
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const auto& p = flows[f];
+    table.row({std::to_string(f), format_double(p.peak_rate.mbps()),
+               format_double(p.avg_rate.mbps()), format_double(p.bucket.kb()),
+               format_double(p.token_rate.mbps()), format_double(p.mean_burst.kb()),
+               p.regulated ? "yes" : "no"});
+  }
+  table.print(out);
+  out << "\n";
+}
+
+}  // namespace
+
+void print_table1(std::ostream& out) {
+  print_profile_table(out, table1_flows(), "# Table 1 workload (9 flows, 48 Mb/s link)");
+}
+
+void print_table2(std::ostream& out) {
+  print_profile_table(out, table2_flows(), "# Table 2 workload (30 flows, 48 Mb/s link)");
+}
+
+void print_banner(std::ostream& out, const std::string& figure, const std::string& what,
+                  const BenchOptions& options) {
+  out << "# " << figure << ": " << what << "\n";
+  out << "# seeds=" << options.seeds << " base_seed=" << options.base_seed
+      << " warmup=" << options.warmup.to_seconds() << "s"
+      << " duration=" << options.duration.to_seconds() << "s\n";
+}
+
+}  // namespace bufq::bench

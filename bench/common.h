@@ -1,0 +1,80 @@
+// Shared infrastructure for the figure-reproduction binaries: common
+// command-line options, replicated experiment execution, and the standard
+// metric extractors the paper's figures plot.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+#include "stats/replication.h"
+#include "util/flags.h"
+
+namespace bufq::bench {
+
+/// Options every figure binary accepts:
+///   --seeds=N        replications (default 5, the paper's count)
+///   --seed=S         base seed (default 1)
+///   --warmup=SECS    transient discarded (default 5)
+///   --duration=SECS  measured interval (default 20)
+///   --buffers=a,b,c  buffer sizes in MB (figure-specific default)
+struct BenchOptions {
+  std::size_t seeds{5};
+  std::uint64_t base_seed{1};
+  Time warmup{Time::seconds(5)};
+  Time duration{Time::seconds(20)};
+  std::vector<double> buffers_mb;
+};
+
+/// Parses options; exits with a message on malformed or unknown flags.
+BenchOptions parse_options(int argc, const char* const* argv,
+                           std::vector<double> default_buffers_mb);
+
+/// A labeled scheme variant for a figure's legend.
+struct SchemeVariant {
+  std::string name;
+  SchemeConfig scheme;
+};
+
+/// Builds a SchemeConfig with every other field at its default.
+inline SchemeConfig make_scheme(SchedulerKind scheduler, ManagerKind manager,
+                                ByteSize headroom = ByteSize::megabytes(2.0),
+                                std::vector<std::vector<FlowId>> groups = {}) {
+  SchemeConfig config;
+  config.scheduler = scheduler;
+  config.manager = manager;
+  config.headroom = headroom;
+  config.groups = std::move(groups);
+  return config;
+}
+
+/// The scheme sets the figures compare.
+std::vector<SchemeVariant> threshold_figure_schemes();              // Figs 1-3
+std::vector<SchemeVariant> sharing_figure_schemes(ByteSize headroom);  // Figs 4-6
+std::vector<SchemeVariant> hybrid_figure_schemes(
+    ByteSize headroom, const std::vector<std::vector<FlowId>>& groups);  // Figs 8-13
+
+/// Runs `seeds` replications of `config` (varying only the seed) and
+/// summarizes each metric produced by `extract`.
+std::map<std::string, Summary> replicate(
+    ExperimentConfig config, const BenchOptions& options,
+    const std::function<std::map<std::string, double>(const ExperimentResult&)>& extract);
+
+/// Standard extractors.
+std::map<std::string, double> throughput_metric(const ExperimentResult& result);
+std::map<std::string, double> conformant_loss_metric(const ExperimentResult& result,
+                                                     const std::vector<FlowId>& conformant);
+
+/// Prints the workload tables so every figure binary is self-describing.
+void print_table1(std::ostream& out);
+void print_table2(std::ostream& out);
+
+/// Prints a figure banner with run parameters.
+void print_banner(std::ostream& out, const std::string& figure, const std::string& what,
+                  const BenchOptions& options);
+
+}  // namespace bufq::bench

@@ -1,0 +1,149 @@
+// General-purpose experiment driver: run any workload x scheme x buffer
+// combination from the command line and get the full per-flow report.
+//
+//   ./experiment_cli --workload=table1 --scheduler=fifo --manager=sharing
+//                    --buffer_mb=1.0 --headroom_kb=300 --seeds=5
+//                    --duration=20 --delays=true
+//
+// Flags:
+//   --workload    table1 | table2                    (default table1)
+//   --scheduler   fifo | wfq | hybrid                (default fifo)
+//   --manager     none | threshold | sharing | selective | dt | red | fred
+//                                                    (default threshold)
+//   --buffer_mb   total buffer in MB                 (default 1.0)
+//   --headroom_kb sharing headroom in KB             (default 300)
+//   --dt_alpha    dynamic-threshold multiplier       (default 1.0)
+//   --seeds       replications                       (default 5)
+//   --warmup, --duration  seconds                    (default 5 / 20)
+//   --delays      also report per-flow delays        (default false)
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+#include "stats/replication.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace bufq;
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "fifo") return SchedulerKind::kFifo;
+  if (name == "wfq") return SchedulerKind::kWfq;
+  if (name == "hybrid") return SchedulerKind::kHybrid;
+  throw std::invalid_argument("unknown --scheduler '" + name + "'");
+}
+
+ManagerKind parse_manager(const std::string& name) {
+  if (name == "none") return ManagerKind::kNone;
+  if (name == "threshold") return ManagerKind::kThreshold;
+  if (name == "sharing") return ManagerKind::kSharing;
+  if (name == "selective") return ManagerKind::kSelectiveSharing;
+  if (name == "dt") return ManagerKind::kDynamicThreshold;
+  if (name == "red") return ManagerKind::kRed;
+  if (name == "fred") return ManagerKind::kFred;
+  throw std::invalid_argument("unknown --manager '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags{argc, argv};
+    const std::string workload = flags.get_string("workload", "table1");
+    const std::string scheduler = flags.get_string("scheduler", "fifo");
+    const std::string manager = flags.get_string("manager", "threshold");
+
+    ExperimentConfig config;
+    config.link_rate = paper_link_rate();
+    config.buffer = ByteSize::megabytes(flags.get_double("buffer_mb", 1.0));
+    config.scheme.scheduler = parse_scheduler(scheduler);
+    config.scheme.manager = parse_manager(manager);
+    config.scheme.headroom = ByteSize::kilobytes(flags.get_double("headroom_kb", 300.0));
+    config.scheme.dt_alpha = flags.get_double("dt_alpha", 1.0);
+    config.warmup = Time::from_seconds(flags.get_double("warmup", 5.0));
+    config.duration = Time::from_seconds(flags.get_double("duration", 20.0));
+    config.record_delays = flags.get_bool("delays", false);
+    const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 5));
+
+    std::vector<FlowId> conformant;
+    if (workload == "table1") {
+      config.flows = table1_flows();
+      conformant = table1_conformant_flows();
+      if (config.scheme.scheduler == SchedulerKind::kHybrid) {
+        config.scheme.groups = case1_groups();
+      }
+    } else if (workload == "table2") {
+      config.flows = table2_flows();
+      conformant = table2_conformant_flows();
+      if (config.scheme.scheduler == SchedulerKind::kHybrid) {
+        config.scheme.groups = case2_groups();
+      }
+    } else {
+      throw std::invalid_argument("unknown --workload '" + workload + "'");
+    }
+
+    const auto unknown = flags.unused();
+    if (!unknown.empty()) {
+      throw std::invalid_argument("unknown flag --" + unknown.front());
+    }
+
+    std::printf("workload=%s scheduler=%s manager=%s buffer=%s seeds=%zu\n\n",
+                workload.c_str(), scheduler.c_str(), manager.c_str(),
+                config.buffer.to_string().c_str(), seeds);
+
+    // Per-flow metrics across replications.
+    ReplicationRunner runner{1, seeds};
+    const bool with_delays = config.record_delays;
+    const auto metrics = runner.run([&, config](std::uint64_t seed) {
+      ExperimentConfig trial_config = config;
+      trial_config.seed = seed;
+      const auto result = run_experiment(trial_config);
+      std::map<std::string, double> m;
+      m["agg_mbps"] = result.aggregate_throughput_mbps();
+      m["conformant_loss"] = result.loss_ratio(conformant);
+      for (std::size_t f = 0; f < trial_config.flows.size(); ++f) {
+        const auto id = static_cast<FlowId>(f);
+        m["f" + std::to_string(f) + "_mbps"] = result.flow_throughput_mbps(id);
+        m["f" + std::to_string(f) + "_loss"] = result.per_flow[f].loss_ratio();
+        if (with_delays) {
+          m["f" + std::to_string(f) + "_delay_ms"] = result.delays[f].mean_s * 1e3;
+        }
+      }
+      return m;
+    });
+
+    TextTable table{with_delays
+                        ? std::vector<std::string>{"flow", "reserved(Mb/s)",
+                                                   "goodput(Mb/s)", "ci95", "loss%",
+                                                   "mean delay(ms)"}
+                        : std::vector<std::string>{"flow", "reserved(Mb/s)",
+                                                   "goodput(Mb/s)", "ci95", "loss%"}};
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const auto& mbps = metrics.at("f" + std::to_string(f) + "_mbps");
+      const auto& loss = metrics.at("f" + std::to_string(f) + "_loss");
+      std::vector<std::string> row{
+          std::to_string(f), format_double(config.flows[f].token_rate.mbps()),
+          format_double(mbps.mean), format_double(mbps.half_width_95),
+          format_double(loss.mean * 100.0)};
+      if (with_delays) {
+        row.push_back(
+            format_double(metrics.at("f" + std::to_string(f) + "_delay_ms").mean));
+      }
+      table.row(std::move(row));
+    }
+    table.print(std::cout);
+
+    const auto& agg = metrics.at("agg_mbps");
+    std::printf("\naggregate: %.2f +- %.2f Mb/s (utilization %.1f%%), conformant loss %.4f%%\n",
+                agg.mean, agg.half_width_95, agg.mean / config.link_rate.mbps() * 100.0,
+                metrics.at("conformant_loss").mean * 100.0);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

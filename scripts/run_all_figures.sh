@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table series of the paper plus the extension
+# benches into results/.  Pass a build directory as $1 (default: build).
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="results"
+mkdir -p "${out_dir}"
+
+benches=(
+  bench_fig1_throughput
+  bench_fig2_conformant_loss
+  bench_fig3_excess_sharing
+  bench_fig4_sharing_throughput
+  bench_fig5_sharing_loss
+  bench_fig6_sharing_excess
+  bench_fig7_headroom
+  bench_fig8_hybrid1_throughput
+  bench_fig9_hybrid1_loss
+  bench_fig10_hybrid1_excess
+  bench_fig11_hybrid2_throughput
+  bench_fig12_hybrid2_loss
+  bench_fig13_hybrid2_excess
+  bench_buffer_requirements
+  bench_example1_convergence
+  bench_hybrid_savings
+  bench_delay_tradeoff
+  bench_aqm_comparison
+  bench_threshold_scaling
+  bench_adaptive_flows
+  bench_robustness
+  bench_grouping_sim
+  bench_scalability
+)
+
+for bench in "${benches[@]}"; do
+  echo "== ${bench}"
+  "${build_dir}/bench/${bench}" > "${out_dir}/${bench}.txt"
+done
+echo "all series written to ${out_dir}/"

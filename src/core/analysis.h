@@ -1,0 +1,81 @@
+// Closed-form results of Section 2 of the paper: per-flow buffer
+// allocations that guarantee lossless service (Propositions 1 and 2),
+// and the minimum total buffer needed by FIFO-with-thresholds versus WFQ
+// (Section 2.3, equations 5-10).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/flow_spec.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// Proposition 1: buffer occupancy threshold guaranteeing lossless service
+/// to a peak-rate-conformant flow of rate rho on a FIFO link of rate R
+/// with total buffer B:  B * rho / R.
+[[nodiscard]] double prop1_threshold_bytes(ByteSize buffer, Rate rho, Rate link_rate);
+
+/// Proposition 2: threshold for a (sigma, rho)-conformant flow:
+/// sigma + B * rho / R.
+[[nodiscard]] double prop2_threshold_bytes(ByteSize buffer, const FlowSpec& flow, Rate link_rate);
+
+/// Minimum total buffer for a WFQ scheduler to serve the flow set
+/// losslessly: sum of the bursts (eq. 6).
+[[nodiscard]] double wfq_min_buffer_bytes(const std::vector<FlowSpec>& flows);
+
+/// Minimum total buffer for FIFO-with-thresholds (eq. 9):
+///   B >= R * sum(sigma) / (R - sum(rho)).
+/// Returns nullopt when sum(rho) >= R (no finite buffer suffices).
+[[nodiscard]] std::optional<double> fifo_min_buffer_bytes(const std::vector<FlowSpec>& flows,
+                                                          Rate link_rate);
+
+/// Equation 10 restated with the reserved utilization u = sum(rho)/R:
+///   B >= sum(sigma) / (1 - u).   Requires 0 <= u < 1.
+[[nodiscard]] double fifo_min_buffer_bytes(double utilization, ByteSize total_sigma);
+
+/// The buffer inflation factor of FIFO over WFQ at utilization u:
+/// 1 / (1 - u).
+[[nodiscard]] double fifo_buffer_inflation(double utilization);
+
+/// Why an admission request was refused.
+enum class AdmissionVerdict {
+  kAccepted,
+  /// Equation 5/7 violated: sum of reserved rates would exceed the link.
+  kBandwidthLimited,
+  /// Equation 6 (WFQ) or 9 (FIFO) violated: buffer cannot cover the flows.
+  kBufferLimited,
+};
+
+/// Admission control for a link of rate R with buffer B under either
+/// discipline.  Tracks the currently admitted set; O(1) per decision.
+class AdmissionController {
+ public:
+  enum class Discipline { kWfq, kFifoThresholds };
+
+  AdmissionController(Discipline discipline, Rate link_rate, ByteSize buffer);
+
+  /// Tests the flow against eqs. 5/6 (WFQ) or 7/9 (FIFO) including the
+  /// already-admitted set; admits and returns kAccepted on success.
+  AdmissionVerdict try_admit(const FlowSpec& flow);
+
+  /// Removes a previously admitted flow's reservation.
+  void release(const FlowSpec& flow);
+
+  [[nodiscard]] Rate reserved_rate() const { return reserved_rate_; }
+  [[nodiscard]] double reserved_sigma_bytes() const { return reserved_sigma_; }
+  [[nodiscard]] double utilization() const { return reserved_rate_ / link_rate_; }
+  [[nodiscard]] std::size_t admitted_count() const { return admitted_; }
+
+ private:
+  Discipline discipline_;
+  Rate link_rate_;
+  ByteSize buffer_;
+  Rate reserved_rate_{Rate::zero()};
+  double reserved_sigma_{0.0};
+  std::size_t admitted_{0};
+};
+
+}  // namespace bufq

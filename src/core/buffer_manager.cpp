@@ -1,0 +1,46 @@
+#include "core/buffer_manager.h"
+
+#include <cassert>
+
+namespace bufq {
+
+AccountingBufferManager::AccountingBufferManager(ByteSize capacity, std::size_t flow_count)
+    : capacity_{capacity}, per_flow_(flow_count, 0) {
+  assert(capacity.count() >= 0);
+}
+
+std::int64_t AccountingBufferManager::occupancy(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow_.size());
+  return per_flow_[static_cast<std::size_t>(flow)];
+}
+
+void AccountingBufferManager::account_admit(FlowId flow, std::int64_t bytes) {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow_.size());
+  assert(bytes >= 0);
+  per_flow_[static_cast<std::size_t>(flow)] += bytes;
+  total_ += bytes;
+  assert(total_ <= capacity_.count());
+}
+
+void AccountingBufferManager::account_release(FlowId flow, std::int64_t bytes) {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow_.size());
+  per_flow_[static_cast<std::size_t>(flow)] -= bytes;
+  total_ -= bytes;
+  assert(per_flow_[static_cast<std::size_t>(flow)] >= 0);
+  assert(total_ >= 0);
+}
+
+TailDropManager::TailDropManager(ByteSize capacity, std::size_t flow_count)
+    : AccountingBufferManager{capacity, flow_count} {}
+
+bool TailDropManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  if (total_occupancy() + bytes > capacity().count()) return false;
+  account_admit(flow, bytes);
+  return true;
+}
+
+void TailDropManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+}
+
+}  // namespace bufq

@@ -1,0 +1,65 @@
+// Buffer management: the paper's central mechanism.  A BufferManager
+// decides, in O(1) per packet, whether an arriving packet may occupy
+// buffer space, based only on global counters and the state of the
+// packet's own flow.  Schedulers consult a manager on every enqueue and
+// notify it on every dequeue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class BufferManager {
+ public:
+  virtual ~BufferManager() = default;
+
+  /// Attempts to reserve `bytes` of buffer for `flow`.  On success the
+  /// manager's accounting is updated and true is returned; on failure the
+  /// state is untouched and the packet must be dropped.
+  [[nodiscard]] virtual bool try_admit(FlowId flow, std::int64_t bytes, Time now) = 0;
+
+  /// Releases `bytes` previously admitted for `flow` (the packet started
+  /// transmission or was removed).
+  virtual void release(FlowId flow, std::int64_t bytes, Time now) = 0;
+
+  [[nodiscard]] virtual std::int64_t occupancy(FlowId flow) const = 0;
+  [[nodiscard]] virtual std::int64_t total_occupancy() const = 0;
+  [[nodiscard]] virtual ByteSize capacity() const = 0;
+};
+
+/// Shared per-flow accounting used by every concrete manager.
+class AccountingBufferManager : public BufferManager {
+ public:
+  AccountingBufferManager(ByteSize capacity, std::size_t flow_count);
+
+  [[nodiscard]] std::int64_t occupancy(FlowId flow) const override;
+  [[nodiscard]] std::int64_t total_occupancy() const override { return total_; }
+  [[nodiscard]] ByteSize capacity() const override { return capacity_; }
+  [[nodiscard]] std::size_t flow_count() const { return per_flow_.size(); }
+
+ protected:
+  void account_admit(FlowId flow, std::int64_t bytes);
+  void account_release(FlowId flow, std::int64_t bytes);
+
+ private:
+  ByteSize capacity_;
+  std::vector<std::int64_t> per_flow_;
+  std::int64_t total_{0};
+};
+
+/// No buffer management beyond the physical capacity: admit whenever the
+/// packet fits.  This is the paper's "FIFO/WFQ with no buffer management"
+/// baseline (plain shared tail drop).
+class TailDropManager final : public AccountingBufferManager {
+ public:
+  TailDropManager(ByteSize capacity, std::size_t flow_count);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+};
+
+}  // namespace bufq

@@ -1,0 +1,59 @@
+#include "core/composite.h"
+
+#include <cassert>
+
+namespace bufq {
+
+CompositeBufferManager::CompositeBufferManager(
+    std::vector<std::size_t> flow_to_queue, std::vector<std::unique_ptr<BufferManager>> managers)
+    : flow_to_queue_{std::move(flow_to_queue)}, managers_{std::move(managers)} {
+  for (std::size_t q : flow_to_queue_) {
+    assert(q < managers_.size());
+    (void)q;
+  }
+  for (const auto& m : managers_) {
+    assert(m != nullptr);
+    (void)m;
+  }
+}
+
+BufferManager& CompositeBufferManager::owner(FlowId flow) {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_to_queue_.size());
+  return *managers_[flow_to_queue_[static_cast<std::size_t>(flow)]];
+}
+
+const BufferManager& CompositeBufferManager::owner(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_to_queue_.size());
+  return *managers_[flow_to_queue_[static_cast<std::size_t>(flow)]];
+}
+
+bool CompositeBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
+  return owner(flow).try_admit(flow, bytes, now);
+}
+
+void CompositeBufferManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  owner(flow).release(flow, bytes, now);
+}
+
+std::int64_t CompositeBufferManager::occupancy(FlowId flow) const {
+  return owner(flow).occupancy(flow);
+}
+
+std::int64_t CompositeBufferManager::total_occupancy() const {
+  std::int64_t total = 0;
+  for (const auto& m : managers_) total += m->total_occupancy();
+  return total;
+}
+
+ByteSize CompositeBufferManager::capacity() const {
+  ByteSize total = ByteSize::zero();
+  for (const auto& m : managers_) total += m->capacity();
+  return total;
+}
+
+const BufferManager& CompositeBufferManager::queue_manager(std::size_t queue) const {
+  assert(queue < managers_.size());
+  return *managers_[queue];
+}
+
+}  // namespace bufq

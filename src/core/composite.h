@@ -1,0 +1,43 @@
+// Per-queue buffer management for the hybrid architecture (Section 4):
+// the total buffer is partitioned across the k hybrid queues, each queue
+// runs its own manager (thresholds or buffer sharing) over the flows
+// mapped to it, and this composite routes every admission/release to the
+// owning queue's manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/buffer_manager.h"
+
+namespace bufq {
+
+class CompositeBufferManager final : public BufferManager {
+ public:
+  /// `flow_to_queue[f]` names the queue owning flow f; `managers[q]` is
+  /// the manager for queue q.  Inner managers index flows by their global
+  /// FlowId (each sees only its own flows, so per-queue capacity applies
+  /// to exactly the right subset).
+  CompositeBufferManager(std::vector<std::size_t> flow_to_queue,
+                         std::vector<std::unique_ptr<BufferManager>> managers);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t occupancy(FlowId flow) const override;
+  [[nodiscard]] std::int64_t total_occupancy() const override;
+  [[nodiscard]] ByteSize capacity() const override;
+
+  [[nodiscard]] const BufferManager& queue_manager(std::size_t queue) const;
+  [[nodiscard]] std::size_t queue_count() const { return managers_.size(); }
+
+ private:
+  [[nodiscard]] BufferManager& owner(FlowId flow);
+  [[nodiscard]] const BufferManager& owner(FlowId flow) const;
+
+  std::vector<std::size_t> flow_to_queue_;
+  std::vector<std::unique_ptr<BufferManager>> managers_;
+};
+
+}  // namespace bufq

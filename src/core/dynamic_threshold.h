@@ -1,0 +1,35 @@
+// The Dynamic Threshold scheme of Choudhury & Hahne (reference [1] of the
+// paper): every flow's instantaneous threshold is a common multiple of
+// the *unused* buffer space,
+//
+//     T(t) = alpha * (B - Q_total(t)),
+//
+// admit iff q_i + L <= T(t) (and the packet physically fits).  Flows
+// self-regulate: when many are active, the free space shrinks and with it
+// the per-flow cap.  The paper's Buffer Sharing scheme (Section 3.3)
+// differs by its flow-specific acceptance rules below the reserved
+// threshold and by the headroom; this implementation exists so the
+// ablation bench can compare the two directly.
+#pragma once
+
+#include "core/buffer_manager.h"
+
+namespace bufq {
+
+class DynamicThresholdManager final : public AccountingBufferManager {
+ public:
+  /// alpha > 0; Choudhury-Hahne recommend powers of two near 1.
+  DynamicThresholdManager(ByteSize capacity, std::size_t flow_count, double alpha);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  /// Current common threshold alpha * free-space.
+  [[nodiscard]] std::int64_t current_threshold() const;
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace bufq

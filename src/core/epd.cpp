@@ -1,0 +1,86 @@
+#include "core/epd.h"
+
+#include <cassert>
+
+namespace bufq {
+
+EpdManager::EpdManager(std::unique_ptr<BufferManager> inner, ByteSize epd_threshold,
+                       std::size_t flow_count)
+    : inner_{std::move(inner)},
+      threshold_{epd_threshold},
+      last_seen_frame_(flow_count, -1),
+      doomed_frame_(flow_count, -1) {
+  assert(inner_ != nullptr);
+  assert(epd_threshold.count() >= 0);
+  assert(epd_threshold <= inner_->capacity());
+}
+
+bool EpdManager::try_admit_packet(const Packet& packet, Time now) {
+  if (packet.frame < 0) return inner_->try_admit(packet.flow, packet.size_bytes, now);
+
+  const auto f = static_cast<std::size_t>(packet.flow);
+  assert(f < doomed_frame_.size());
+  const bool first_segment = packet.frame != last_seen_frame_[f];
+  last_seen_frame_[f] = packet.frame;
+
+  // PPD: the rest of a frame we already cut is useless.
+  if (doomed_frame_[f] == packet.frame) {
+    if (packet.frame_end) doomed_frame_[f] = -1;  // frame over; forget it
+    return false;
+  }
+
+  // EPD: above the threshold, refuse frames at their *first* segment so
+  // no partial frame ever enters the buffer.
+  if (first_segment && total_occupancy() >= threshold_.count()) {
+    ++frames_refused_;
+    if (!packet.frame_end) doomed_frame_[f] = packet.frame;
+    return false;
+  }
+
+  if (inner_->try_admit(packet.flow, packet.size_bytes, now)) {
+    return true;
+  }
+  // Inner refusal mid-frame: cut the rest (PPD).
+  if (!packet.frame_end) {
+    doomed_frame_[f] = packet.frame;
+    ++frames_partial_;
+  }
+  return false;
+}
+
+bool EpdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
+  return inner_->try_admit(flow, bytes, now);
+}
+
+void EpdManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  inner_->release(flow, bytes, now);
+}
+
+std::int64_t EpdManager::occupancy(FlowId flow) const { return inner_->occupancy(flow); }
+
+std::int64_t EpdManager::total_occupancy() const { return inner_->total_occupancy(); }
+
+ByteSize EpdManager::capacity() const { return inner_->capacity(); }
+
+FrameFifoScheduler::FrameFifoScheduler(EpdManager& manager) : manager_{manager} {}
+
+bool FrameFifoScheduler::enqueue(const Packet& packet, Time now) {
+  if (!manager_.try_admit_packet(packet, now)) {
+    if (on_drop_) on_drop_(packet, now);
+    return false;
+  }
+  queue_.push_back(packet);
+  backlog_bytes_ += packet.size_bytes;
+  return true;
+}
+
+std::optional<Packet> FrameFifoScheduler::dequeue(Time now) {
+  if (queue_.empty()) return std::nullopt;
+  Packet packet = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= packet.size_bytes;
+  manager_.release(packet.flow, packet.size_bytes, now);
+  return packet;
+}
+
+}  // namespace bufq

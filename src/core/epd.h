@@ -1,0 +1,89 @@
+// Early Packet Discard / Partial Packet Discard (Romanow & Floyd [7],
+// Turner [9]): frame-aware buffer management for traffic where a frame
+// with any missing segment is useless (AAL5 over ATM in the originals;
+// any message-oriented transport in general).
+//
+//   EPD: when the buffer occupancy is above a threshold, refuse *new*
+//        frames entirely (their first segment and everything after).
+//   PPD: once any segment of a frame has been dropped — by EPD, by the
+//        physical limit, or by an inner policy — drop the frame's
+//        remaining segments too; they would only waste bandwidth.
+//
+// The manager composes: it wraps any inner BufferManager (tail drop,
+// thresholds, sharing, ...) and adds the frame logic on top, so the
+// paper's reservation thresholds and EPD can be combined.  Packets with
+// frame < 0 bypass the frame logic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "sim/queue_discipline.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class EpdManager final : public BufferManager {
+ public:
+  /// `epd_threshold`: occupancy above which new frames are refused.  The
+  /// manager owns `inner`; physical capacity and per-flow policy live
+  /// there.
+  EpdManager(std::unique_ptr<BufferManager> inner, ByteSize epd_threshold,
+             std::size_t flow_count);
+
+  /// Frame-aware admission.  The packet's frame id must be non-decreasing
+  /// per flow (sources emit frames in order).
+  [[nodiscard]] bool try_admit_packet(const Packet& packet, Time now);
+
+  // BufferManager interface: frame-less path (used when a scheduler calls
+  // with only flow/bytes; packets offered this way bypass frame logic).
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t occupancy(FlowId flow) const override;
+  [[nodiscard]] std::int64_t total_occupancy() const override;
+  [[nodiscard]] ByteSize capacity() const override;
+
+  [[nodiscard]] ByteSize epd_threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t frames_refused_early() const { return frames_refused_; }
+  [[nodiscard]] std::uint64_t frames_partially_dropped() const { return frames_partial_; }
+
+ private:
+  std::unique_ptr<BufferManager> inner_;
+  ByteSize threshold_;
+  /// Most recent frame id seen from each flow (-1 = none yet); a packet
+  /// with a different id starts a new frame.
+  std::vector<std::int64_t> last_seen_frame_;
+  /// Frame id currently being discarded, per flow (-1 = none).
+  std::vector<std::int64_t> doomed_frame_;
+  /// Whether the doomed frame was refused at its first segment (EPD) or
+  /// mid-frame (PPD) — for the counters only.
+  std::uint64_t frames_refused_{0};
+  std::uint64_t frames_partial_{0};
+};
+
+/// FIFO-with-frames front end: a QueueDiscipline that consults an
+/// EpdManager with full packet context.  (The plain FifoScheduler only
+/// hands the manager flow/bytes, which would bypass frame logic.)
+class FrameFifoScheduler final : public QueueDiscipline {
+ public:
+  explicit FrameFifoScheduler(EpdManager& manager);
+
+  bool enqueue(const Packet& packet, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
+  void set_drop_handler(DropHandler handler) override { on_drop_ = std::move(handler); }
+
+ private:
+  EpdManager& manager_;
+  std::deque<Packet> queue_;
+  std::int64_t backlog_bytes_{0};
+  DropHandler on_drop_;
+};
+
+}  // namespace bufq

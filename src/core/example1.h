@@ -1,0 +1,74 @@
+// Example 1 of the paper: exact interval dynamics of a conformant
+// peak-rate flow (rate rho1) sharing a FIFO buffer with a greedy flow that
+// always keeps its buffer share B2 full.
+//
+// Between the "clearing" times t_0 < t_1 < ... of the greedy flow, the
+// interval lengths obey
+//
+//     l_{i+1} = (rho1 / R) * l_i + B2 / R,      l_1 = B2 / R,
+//
+// the greedy flow is served at R_i^2 = B2 / l_i during interval i and the
+// conformant flow at R_i^1 = R - R_i^2.  As i -> infinity:
+//
+//     l_i   -> B2 / (R - rho1)
+//     R_i^1 -> rho1            (the conformant flow's guarantee)
+//     R_i^2 -> R - rho1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace bufq {
+
+struct Example1Interval {
+  /// Interval index i (1-based, matching the paper).
+  int index;
+  /// t_{i-1} and t_i in seconds.
+  double start_s;
+  double end_s;
+  /// l_i = t_i - t_{i-1} in seconds.
+  double length_s;
+  /// Service rates during the interval, bits/second.
+  double rate_flow1_bps;
+  double rate_flow2_bps;
+  /// Flow 1 buffer occupancy at t_i, bytes (rho1 * l_i).
+  double q1_end_bytes;
+};
+
+struct Example1Limits {
+  double interval_length_s;  ///< B2 / (R - rho1)
+  double rate_flow1_bps;     ///< rho1
+  double rate_flow2_bps;     ///< R - rho1
+};
+
+class Example1Dynamics {
+ public:
+  /// The conformant flow sends at exactly rho1 < R; the greedy flow pins
+  /// its occupancy at B2 = B - B * rho1 / R.
+  Example1Dynamics(Rate link_rate, Rate rho1, ByteSize total_buffer);
+
+  /// First `count` intervals of the recursion.
+  [[nodiscard]] std::vector<Example1Interval> intervals(int count) const;
+
+  /// Asymptotic values.
+  [[nodiscard]] Example1Limits limits() const;
+
+  /// Flow 1's guaranteed threshold B1 = B * rho1 / R, bytes.
+  [[nodiscard]] double b1_bytes() const { return b1_; }
+  /// Greedy flow's share B2 = B - B1, bytes.
+  [[nodiscard]] double b2_bytes() const { return b2_; }
+
+  /// Number of intervals until flow 1's service rate is within
+  /// `tolerance` (relative) of rho1.  Caps at `max_intervals`.
+  [[nodiscard]] int intervals_to_converge(double tolerance, int max_intervals = 10'000) const;
+
+ private:
+  Rate link_rate_;
+  Rate rho1_;
+  double b1_;
+  double b2_;
+};
+
+}  // namespace bufq

@@ -1,0 +1,17 @@
+#include "core/flow_spec.h"
+
+namespace bufq {
+
+Rate total_rate(const std::vector<FlowSpec>& flows) {
+  Rate sum = Rate::zero();
+  for (const auto& f : flows) sum = sum + f.rho;
+  return sum;
+}
+
+ByteSize total_burst(const std::vector<FlowSpec>& flows) {
+  ByteSize sum = ByteSize::zero();
+  for (const auto& f : flows) sum += f.sigma;
+  return sum;
+}
+
+}  // namespace bufq

@@ -1,0 +1,27 @@
+// The (sigma, rho) envelope a flow declares to the network: token-bucket
+// depth sigma and guaranteed (token) rate rho.  All of the paper's
+// closed-form machinery (Propositions 1-3, equations 5-19) is stated in
+// terms of these two quantities.
+#pragma once
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace bufq {
+
+struct FlowSpec {
+  /// Guaranteed service rate rho (token rate).
+  Rate rho;
+  /// Maximum burst sigma (token-bucket depth).  Zero models a pure
+  /// peak-rate-conformant flow (Proposition 1).
+  ByteSize sigma;
+};
+
+/// Sum of guaranteed rates of a flow set.
+[[nodiscard]] Rate total_rate(const std::vector<FlowSpec>& flows);
+
+/// Sum of burst allowances of a flow set.
+[[nodiscard]] ByteSize total_burst(const std::vector<FlowSpec>& flows);
+
+}  // namespace bufq

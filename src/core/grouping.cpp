@@ -1,0 +1,164 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/hybrid_analysis.h"
+
+namespace bufq {
+namespace {
+
+std::vector<std::vector<FlowSpec>> specs_of_groups(const std::vector<FlowSpec>& specs,
+                                                   const std::vector<std::vector<FlowId>>& groups) {
+  std::vector<std::vector<FlowSpec>> grouped(groups.size());
+  for (std::size_t q = 0; q < groups.size(); ++q) {
+    for (FlowId f : groups[q]) {
+      grouped[q].push_back(specs[static_cast<std::size_t>(f)]);
+    }
+  }
+  return grouped;
+}
+
+double group_cost(double sigma_bytes, double rho_Bps) {
+  return std::sqrt(sigma_bytes * rho_Bps);
+}
+
+}  // namespace
+
+double grouping_s_value(const std::vector<FlowSpec>& specs,
+                        const std::vector<std::vector<FlowId>>& groups) {
+  double s = 0.0;
+  for (const auto& aggregate : aggregate_groups(specs_of_groups(specs, groups))) {
+    s += group_cost(static_cast<double>(aggregate.sigma_hat.count()),
+                    aggregate.rho_hat.bytes_per_second());
+  }
+  return s;
+}
+
+double grouping_buffer_bytes(const std::vector<FlowSpec>& specs,
+                             const std::vector<std::vector<FlowId>>& groups, Rate link_rate) {
+  return hybrid_optimal_buffer_bytes(aggregate_groups(specs_of_groups(specs, groups)),
+                                     link_rate);
+}
+
+GroupingResult optimize_grouping(const std::vector<FlowSpec>& specs, std::size_t k,
+                                 Rate link_rate) {
+  assert(k >= 1);
+  assert(!specs.empty());
+  const std::size_t n = specs.size();
+  k = std::min(k, n);
+
+  // Sort flows by their burst-to-rate ratio; similar ratios merge with
+  // the least Cauchy-Schwarz penalty.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  auto ratio = [&](std::size_t f) {
+    const double rho = specs[f].rho.bytes_per_second();
+    const double sigma = static_cast<double>(specs[f].sigma.count());
+    if (rho <= 0.0) return std::numeric_limits<double>::max();
+    return sigma / rho;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ratio(a) < ratio(b); });
+
+  // Prefix sums over the sorted order.
+  std::vector<double> psigma(n + 1, 0.0), prho(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    psigma[i + 1] = psigma[i] + static_cast<double>(specs[order[i]].sigma.count());
+    prho[i + 1] = prho[i] + specs[order[i]].rho.bytes_per_second();
+  }
+  auto segment_cost = [&](std::size_t i, std::size_t j) {  // [i, j)
+    return group_cost(psigma[j] - psigma[i], prho[j] - prho[i]);
+  };
+
+  // dp[g][j]: best S for the first j flows in exactly g segments.
+  constexpr double kInf = std::numeric_limits<double>::max();
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> cut(k + 1, std::vector<std::size_t>(n + 1, 0));
+  dp[0][0] = 0.0;
+  for (std::size_t g = 1; g <= k; ++g) {
+    for (std::size_t j = g; j <= n; ++j) {
+      for (std::size_t i = g - 1; i < j; ++i) {
+        if (dp[g - 1][i] == kInf) continue;
+        const double candidate = dp[g - 1][i] + segment_cost(i, j);
+        if (candidate < dp[g][j]) {
+          dp[g][j] = candidate;
+          cut[g][j] = i;
+        }
+      }
+    }
+  }
+
+  // More segments never hurt (Cauchy-Schwarz), but allow any g <= k in
+  // case of ties.
+  std::size_t best_g = k;
+  for (std::size_t g = 1; g <= k; ++g) {
+    if (dp[g][n] < dp[best_g][n]) best_g = g;
+  }
+
+  GroupingResult result;
+  result.s_value = dp[best_g][n];
+  result.groups.resize(best_g);
+  std::size_t j = n;
+  for (std::size_t g = best_g; g >= 1; --g) {
+    const std::size_t i = cut[g][j];
+    for (std::size_t p = i; p < j; ++p) {
+      result.groups[g - 1].push_back(static_cast<FlowId>(order[p]));
+    }
+    j = i;
+  }
+  result.total_buffer_bytes = grouping_buffer_bytes(specs, result.groups, link_rate);
+  return result;
+}
+
+namespace {
+
+void enumerate(const std::vector<FlowSpec>& specs, std::size_t flow, std::size_t k,
+               std::vector<std::vector<FlowId>>& current, double& best_s,
+               std::vector<std::vector<FlowId>>& best_groups) {
+  if (flow == specs.size()) {
+    const double s = grouping_s_value(specs, current);
+    if (s < best_s) {
+      best_s = s;
+      best_groups = current;
+    }
+    return;
+  }
+  // Place into an existing group... (index loop: the recursion below can
+  // reallocate `current` when it opens new groups, so no references into
+  // the vector may be held across the call)
+  for (std::size_t g = 0; g < current.size(); ++g) {
+    current[g].push_back(static_cast<FlowId>(flow));
+    enumerate(specs, flow + 1, k, current, best_s, best_groups);
+    current[g].pop_back();
+  }
+  // ...or open a new one (canonical order: new groups only at the back).
+  if (current.size() < k) {
+    current.push_back({static_cast<FlowId>(flow)});
+    enumerate(specs, flow + 1, k, current, best_s, best_groups);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+GroupingResult exhaustive_grouping(const std::vector<FlowSpec>& specs, std::size_t k,
+                                   Rate link_rate) {
+  assert(k >= 1);
+  assert(!specs.empty());
+  assert(specs.size() <= 14 && "exhaustive enumeration is exponential");
+  std::vector<std::vector<FlowId>> current;
+  std::vector<std::vector<FlowId>> best_groups;
+  double best_s = std::numeric_limits<double>::max();
+  enumerate(specs, 0, k, current, best_s, best_groups);
+  GroupingResult result;
+  result.groups = std::move(best_groups);
+  result.s_value = best_s;
+  result.total_buffer_bytes = grouping_buffer_bytes(specs, result.groups, link_rate);
+  return result;
+}
+
+}  // namespace bufq

@@ -1,0 +1,60 @@
+// Flow-to-queue grouping optimization for the hybrid architecture.
+//
+// Section 4.1 leaves open which grouping of flows into k queues minimizes
+// the total buffer.  Under the optimal rate split (Proposition 3) the
+// total is
+//
+//     B = sum(sigma) + S^2 / (R - rho),   S = sum_q sqrt(sigma_hat_q * rho_hat_q),
+//
+// so minimizing B means minimizing S over partitions.  Two solvers:
+//
+//   * optimize_grouping(specs, k): sorts flows by their sigma/rho ratio
+//     and runs an exact dynamic program over *contiguous* segments of the
+//     sorted order (O(N^2 k)).  Grouping flows with similar burst-to-rate
+//     ratios is exactly the paper's intuition ("low bandwidth and
+//     burstiness IP telephony flows in one queue, high-bandwidth video in
+//     another"); the DP finds the best such split.
+//
+//   * exhaustive_grouping(specs, k): enumerates every partition into at
+//     most k non-empty groups (feasible for N <= ~12).  Used by tests to
+//     validate that the sorted DP is optimal on small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow_spec.h"
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace bufq {
+
+struct GroupingResult {
+  std::vector<std::vector<FlowId>> groups;
+  /// S = sum over groups of sqrt(sigma_hat * rho_hat), in sqrt(bytes *
+  /// bytes/s).  Lower is better; the buffer follows via eq. 19.
+  double s_value{0.0};
+  /// Total lossless buffer (eq. 19) for this grouping on the given link.
+  double total_buffer_bytes{0.0};
+};
+
+/// S-value of an explicit grouping.
+[[nodiscard]] double grouping_s_value(const std::vector<FlowSpec>& specs,
+                                      const std::vector<std::vector<FlowId>>& groups);
+
+/// Eq. 19 total buffer of an explicit grouping.
+[[nodiscard]] double grouping_buffer_bytes(const std::vector<FlowSpec>& specs,
+                                           const std::vector<std::vector<FlowId>>& groups,
+                                           Rate link_rate);
+
+/// Best contiguous-by-ratio grouping into at most k queues (exact DP over
+/// the sigma/rho-sorted order).  Requires 1 <= k and non-empty specs.
+[[nodiscard]] GroupingResult optimize_grouping(const std::vector<FlowSpec>& specs,
+                                               std::size_t k, Rate link_rate);
+
+/// Globally optimal grouping by exhaustive partition enumeration.
+/// Exponential: intended for N <= 12 (tests and small configs).
+[[nodiscard]] GroupingResult exhaustive_grouping(const std::vector<FlowSpec>& specs,
+                                                 std::size_t k, Rate link_rate);
+
+}  // namespace bufq

@@ -1,0 +1,69 @@
+// Section 4.1: rate and buffer allocation for the hybrid architecture —
+// k FIFO queues served by a WFQ scheduler, buffer management inside each.
+//
+// Given per-queue aggregates (sigma_hat_i, rho_hat_i), Proposition 3 says
+// total buffer is minimized by granting queue i the share
+//
+//     alpha_i = sqrt(sigma_hat_i * rho_hat_i) / S,
+//     S = sum_j sqrt(sigma_hat_j * rho_hat_j)
+//
+// of the excess capacity R - rho, i.e. R_i = rho_hat_i + alpha_i (R - rho).
+// The per-queue minimum buffer is then (eq. 18)
+//
+//     B_i = sigma_hat_i + S * sqrt(sigma_hat_i * rho_hat_i) / (R - rho),
+//
+// the total is B_hybrid = sigma + S^2 / (R - rho) (eq. 19), and the saving
+// over a single FIFO queue is eq. 17.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow_spec.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// Aggregate envelope of the flows assigned to one hybrid queue.
+struct QueueAggregate {
+  Rate rho_hat;       ///< sum of member flows' token rates
+  ByteSize sigma_hat; ///< sum of member flows' bucket depths
+};
+
+/// Sums each group of flows into its queue aggregate.
+[[nodiscard]] std::vector<QueueAggregate> aggregate_groups(
+    const std::vector<std::vector<FlowSpec>>& groups);
+
+/// Proposition 3 excess-capacity shares alpha_i.  Requires at least one
+/// queue with sigma_hat * rho_hat > 0.
+[[nodiscard]] std::vector<double> prop3_alphas(const std::vector<QueueAggregate>& queues);
+
+/// Service rates R_i = rho_hat_i + alpha_i (R - rho) (eq. 16) for given
+/// shares.  Requires sum(rho_hat) < R and sum(alpha) == 1.
+[[nodiscard]] std::vector<Rate> hybrid_rates(const std::vector<QueueAggregate>& queues,
+                                             Rate link_rate, const std::vector<double>& alphas);
+
+/// Minimum buffer of one queue served at R_i (eq. 11):
+/// R_i * sigma_hat_i / (R_i - rho_hat_i).  A queue holding a single flow
+/// needs only sigma (footnote 6); this helper implements the multi-flow
+/// formula and lets callers special-case singletons.
+[[nodiscard]] double queue_min_buffer_bytes(const QueueAggregate& queue, Rate service_rate);
+
+/// Total hybrid buffer under arbitrary shares (eq. 12 with eq. 16 rates).
+[[nodiscard]] double hybrid_total_buffer_bytes(const std::vector<QueueAggregate>& queues,
+                                               Rate link_rate, const std::vector<double>& alphas);
+
+/// Closed-form total under the optimal shares (eq. 19):
+/// sigma + S^2 / (R - rho).
+[[nodiscard]] double hybrid_optimal_buffer_bytes(const std::vector<QueueAggregate>& queues,
+                                                 Rate link_rate);
+
+/// Single-FIFO requirement (eq. 13): R * sigma / (R - rho).
+[[nodiscard]] double single_fifo_buffer_bytes(const std::vector<QueueAggregate>& queues,
+                                              Rate link_rate);
+
+/// Buffer saved by the optimal hybrid split (eq. 17); always >= 0.
+[[nodiscard]] double hybrid_buffer_savings_bytes(const std::vector<QueueAggregate>& queues,
+                                                 Rate link_rate);
+
+}  // namespace bufq

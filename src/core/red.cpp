@@ -1,0 +1,118 @@
+#include "core/red.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+RedManager::RedManager(ByteSize capacity, std::size_t flow_count, RedParams params, Rng rng)
+    : AccountingBufferManager{capacity, flow_count}, params_{params}, rng_{rng} {
+  assert(params_.min_threshold >= 0);
+  assert(params_.max_threshold > params_.min_threshold);
+  assert(params_.weight > 0.0 && params_.weight <= 1.0);
+  assert(params_.max_p > 0.0 && params_.max_p <= 1.0);
+}
+
+void RedManager::update_average() {
+  avg_ += params_.weight * (static_cast<double>(total_occupancy()) - avg_);
+}
+
+bool RedManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  update_average();
+  if (total_occupancy() + bytes > capacity().count()) return false;
+
+  if (avg_ >= static_cast<double>(params_.max_threshold)) {
+    since_last_drop_ = 0;
+    return false;
+  }
+  if (avg_ > static_cast<double>(params_.min_threshold)) {
+    const double span =
+        static_cast<double>(params_.max_threshold - params_.min_threshold);
+    const double pb =
+        params_.max_p * (avg_ - static_cast<double>(params_.min_threshold)) / span;
+    // Uniformize the inter-drop distance (the RED paper's count term).
+    const double pa =
+        pb / std::max(1.0 - static_cast<double>(since_last_drop_) * pb, 1e-9);
+    ++since_last_drop_;
+    if (rng_.bernoulli(std::min(pa, 1.0))) {
+      since_last_drop_ = 0;
+      return false;
+    }
+  } else {
+    since_last_drop_ = 0;
+  }
+  account_admit(flow, bytes);
+  return true;
+}
+
+void RedManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+}
+
+FredManager::FredManager(ByteSize capacity, std::size_t flow_count, FredParams params, Rng rng)
+    : AccountingBufferManager{capacity, flow_count},
+      params_{params},
+      rng_{rng},
+      strikes_(flow_count, 0) {
+  assert(params_.min_q >= 0);
+  assert(params_.strike_limit >= 1);
+}
+
+int FredManager::strikes(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < strikes_.size());
+  return strikes_[static_cast<std::size_t>(flow)];
+}
+
+double FredManager::fair_share() const {
+  // avgcq: average per-active-flow backlog; optimistic when idle.
+  if (active_flows_ == 0) return static_cast<double>(params_.min_q);
+  return std::max(static_cast<double>(total_occupancy()) / static_cast<double>(active_flows_),
+                  static_cast<double>(params_.min_q));
+}
+
+bool FredManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  avg_ += params_.red.weight * (static_cast<double>(total_occupancy()) - avg_);
+  if (total_occupancy() + bytes > capacity().count()) return false;
+
+  const std::int64_t q = occupancy(flow);
+  const double share = fair_share();
+  const auto max_q = static_cast<std::int64_t>(
+      std::max(share * 2.0, static_cast<double>(params_.min_q)));
+
+  // A flow trying to exceed maxq earns a strike and loses the packet.
+  if (q + bytes > max_q) {
+    strikes_[static_cast<std::size_t>(flow)] =
+        std::min(strikes_[static_cast<std::size_t>(flow)] + 1, 1'000);
+    return false;
+  }
+  // Flows with a violation history are held at the fair share itself.
+  if (strikes_[static_cast<std::size_t>(flow)] >= params_.strike_limit &&
+      static_cast<double>(q + bytes) > share) {
+    return false;
+  }
+  // Otherwise RED-style probabilistic dropping above min_threshold, but
+  // never for flows below their minq allowance (FRED protects fragile
+  // low-rate flows).
+  if (q + bytes > params_.min_q && avg_ > static_cast<double>(params_.red.min_threshold)) {
+    if (avg_ >= static_cast<double>(params_.red.max_threshold)) return false;
+    const double span = static_cast<double>(params_.red.max_threshold -
+                                            params_.red.min_threshold);
+    const double pb = params_.red.max_p *
+                      (avg_ - static_cast<double>(params_.red.min_threshold)) / span;
+    if (rng_.bernoulli(std::min(pb, 1.0))) return false;
+  }
+
+  if (q == 0) ++active_flows_;
+  account_admit(flow, bytes);
+  return true;
+}
+
+void FredManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+  if (occupancy(flow) == 0) {
+    assert(active_flows_ > 0);
+    --active_flows_;
+  }
+}
+
+}  // namespace bufq

@@ -1,0 +1,87 @@
+// Random Early Detection (Floyd & Jacobson 1993) and Flow RED (Lin &
+// Morris 1997) as BufferManager implementations.  The paper cites both as
+// the contemporary buffer-management alternatives (Section 1); they make
+// instructive baselines because they target *congestion signaling* for
+// adaptive flows, not rate guarantees — against non-adaptive aggressive
+// sources they protect far less than the threshold scheme, which the
+// ablation bench demonstrates.
+//
+// RED: drop probability ramps from 0 to max_p as the EWMA of the queue
+// size moves between min_th and max_th; above max_th everything is
+// dropped.  The EWMA ignores which flow a packet belongs to, so RED alone
+// provides no isolation.
+//
+// FRED: adds per-active-flow accounting (qlen_i) with a global fair share
+// estimate avgcq; flows are capped near the fair share and flows with a
+// history of violations (strikes) are held to exactly it.  This is a
+// faithful-but-compact rendering of the published algorithm: minq/maxq
+// bounds, strike counting, and the per-flow cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace bufq {
+
+struct RedParams {
+  /// EWMA weight for the average queue size (RED's w_q).
+  double weight{0.002};
+  /// Thresholds on the *average* queue in bytes.
+  std::int64_t min_threshold{0};
+  std::int64_t max_threshold{0};
+  /// Drop probability at max_threshold.
+  double max_p{0.1};
+};
+
+class RedManager final : public AccountingBufferManager {
+ public:
+  RedManager(ByteSize capacity, std::size_t flow_count, RedParams params, Rng rng);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] double average_queue() const { return avg_; }
+
+ private:
+  void update_average();
+
+  RedParams params_;
+  Rng rng_;
+  double avg_{0.0};
+  /// Packets since the last drop, for RED's uniformization of the
+  /// inter-drop gap.
+  std::uint64_t since_last_drop_{0};
+};
+
+struct FredParams {
+  RedParams red;
+  /// Minimum per-flow allowance in bytes (FRED's minq).
+  std::int64_t min_q{2 * 1500};
+  /// Strikes after which a flow is pinned to the fair share.
+  int strike_limit{1};
+};
+
+class FredManager final : public AccountingBufferManager {
+ public:
+  FredManager(ByteSize capacity, std::size_t flow_count, FredParams params, Rng rng);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] int strikes(FlowId flow) const;
+  [[nodiscard]] double fair_share() const;
+
+ private:
+  FredParams params_;
+  Rng rng_;
+  double avg_{0.0};
+  std::vector<int> strikes_;
+  /// Number of flows with backlog, for the fair-share estimate.
+  std::size_t active_flows_{0};
+};
+
+}  // namespace bufq

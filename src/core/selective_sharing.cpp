@@ -1,0 +1,77 @@
+#include "core/selective_sharing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+SelectiveSharingManager::SelectiveSharingManager(ByteSize capacity, Rate link_rate,
+                                                 const std::vector<FlowSpec>& flows,
+                                                 std::vector<SharingClass> classes,
+                                                 ByteSize max_headroom,
+                                                 ThresholdScaling scaling)
+    : SelectiveSharingManager{capacity, compute_thresholds(flows, capacity, link_rate, scaling),
+                              std::move(classes), max_headroom} {}
+
+SelectiveSharingManager::SelectiveSharingManager(ByteSize capacity,
+                                                 std::vector<std::int64_t> thresholds,
+                                                 std::vector<SharingClass> classes,
+                                                 ByteSize max_headroom)
+    : AccountingBufferManager{capacity, thresholds.size()},
+      thresholds_{std::move(thresholds)},
+      classes_{std::move(classes)},
+      max_headroom_{max_headroom} {
+  assert(classes_.size() == thresholds_.size());
+  init_pools();
+}
+
+void SelectiveSharingManager::init_pools() {
+  headroom_ = std::min(max_headroom_.count(), capacity().count());
+  holes_ = capacity().count() - headroom_;
+}
+
+std::int64_t SelectiveSharingManager::threshold(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < thresholds_.size());
+  return thresholds_[static_cast<std::size_t>(flow)];
+}
+
+SharingClass SelectiveSharingManager::sharing_class(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < classes_.size());
+  return classes_[static_cast<std::size_t>(flow)];
+}
+
+bool SelectiveSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  const std::int64_t q = occupancy(flow);
+  const std::int64_t t = threshold(flow);
+  if (q + bytes <= t) {
+    // Reserved space: every class is entitled; holes first, then headroom.
+    const std::int64_t from_holes = std::min(holes_, bytes);
+    const std::int64_t from_headroom = bytes - from_holes;
+    if (from_headroom > headroom_) return false;
+    holes_ -= from_holes;
+    headroom_ -= from_headroom;
+    account_admit(flow, bytes);
+    return true;
+  }
+  // Excess space: adaptive flows only, under the Section 3.3 fairness
+  // rule; reserved/blocked flows stop at their threshold.
+  if (sharing_class(flow) != SharingClass::kAdaptive) return false;
+  if (bytes > holes_) return false;
+  const std::int64_t excess_after = q + bytes - t;
+  const std::int64_t holes_after = holes_ - bytes;
+  if (excess_after > holes_after) return false;
+  holes_ -= bytes;
+  account_admit(flow, bytes);
+  return true;
+}
+
+void SelectiveSharingManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+  headroom_ += bytes;
+  const std::int64_t cap = std::min(max_headroom_.count(), capacity().count());
+  holes_ += std::max(headroom_ - cap, static_cast<std::int64_t>(0));
+  headroom_ = std::min(headroom_, cap);
+  assert(holes_ + headroom_ + total_occupancy() == capacity().count());
+}
+
+}  // namespace bufq

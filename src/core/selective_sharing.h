@@ -1,0 +1,63 @@
+// Selective buffer sharing — the extension sketched in the paper's
+// conclusion (Section 5): "one could also envision allowing adaptive
+// flows to share buffers with reserved flows, while non-adaptive ones
+// would be prevented from doing so."
+//
+// This manager behaves exactly like BufferSharingManager except that each
+// flow carries a sharing *class*:
+//
+//   kReserved  — below-threshold admission only (its reservation), never
+//                borrows holes beyond the threshold;
+//   kAdaptive  — full Section 3.3 behavior (reservation + holes);
+//   kBlocked   — a non-adaptive over-subscriber: reservation only, and
+//                its reserved space is admitted from holes/headroom like
+//                anyone else, but it can never occupy excess space.
+//
+// kReserved and kBlocked coincide in mechanism (no excess access); they
+// are kept distinct so policy intent shows up in configs and reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/flow_spec.h"
+#include "core/threshold.h"
+#include "util/units.h"
+
+namespace bufq {
+
+enum class SharingClass {
+  kReserved,
+  kAdaptive,
+  kBlocked,
+};
+
+class SelectiveSharingManager final : public AccountingBufferManager {
+ public:
+  SelectiveSharingManager(ByteSize capacity, Rate link_rate, const std::vector<FlowSpec>& flows,
+                          std::vector<SharingClass> classes, ByteSize max_headroom,
+                          ThresholdScaling scaling = ThresholdScaling::kExact);
+
+  SelectiveSharingManager(ByteSize capacity, std::vector<std::int64_t> thresholds,
+                          std::vector<SharingClass> classes, ByteSize max_headroom);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t threshold(FlowId flow) const;
+  [[nodiscard]] SharingClass sharing_class(FlowId flow) const;
+  [[nodiscard]] std::int64_t holes() const { return holes_; }
+  [[nodiscard]] std::int64_t headroom() const { return headroom_; }
+
+ private:
+  void init_pools();
+
+  std::vector<std::int64_t> thresholds_;
+  std::vector<SharingClass> classes_;
+  ByteSize max_headroom_;
+  std::int64_t holes_{0};
+  std::int64_t headroom_{0};
+};
+
+}  // namespace bufq

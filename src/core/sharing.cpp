@@ -1,0 +1,73 @@
+#include "core/sharing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+BufferSharingManager::BufferSharingManager(ByteSize capacity, Rate link_rate,
+                                           const std::vector<FlowSpec>& flows,
+                                           ByteSize max_headroom, ThresholdScaling scaling)
+    : AccountingBufferManager{capacity, flows.size()},
+      thresholds_{compute_thresholds(flows, capacity, link_rate, scaling)},
+      max_headroom_{max_headroom} {
+  init_pools();
+}
+
+BufferSharingManager::BufferSharingManager(ByteSize capacity, std::vector<std::int64_t> thresholds,
+                                           ByteSize max_headroom)
+    : AccountingBufferManager{capacity, thresholds.size()},
+      thresholds_{std::move(thresholds)},
+      max_headroom_{max_headroom} {
+  init_pools();
+}
+
+void BufferSharingManager::init_pools() {
+  assert(max_headroom_.count() >= 0);
+  // The buffer starts empty: the headroom is at its cap and everything
+  // else is holes.
+  headroom_ = std::min(max_headroom_.count(), capacity().count());
+  holes_ = capacity().count() - headroom_;
+}
+
+std::int64_t BufferSharingManager::threshold(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < thresholds_.size());
+  return thresholds_[static_cast<std::size_t>(flow)];
+}
+
+bool BufferSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  const std::int64_t q = occupancy(flow);
+  const std::int64_t t = threshold(flow);
+  if (q + bytes <= t) {
+    // Below threshold: entitled to space.  Holes first, headroom second.
+    const std::int64_t from_holes = std::min(holes_, bytes);
+    const std::int64_t from_headroom = bytes - from_holes;
+    if (from_headroom > headroom_) return false;
+    holes_ -= from_holes;
+    headroom_ -= from_headroom;
+    account_admit(flow, bytes);
+    return true;
+  }
+  // Above threshold: holes only, and the flow's excess occupancy after
+  // admission may not exceed the holes that remain.
+  if (bytes > holes_) return false;
+  const std::int64_t excess_after = q + bytes - t;
+  const std::int64_t holes_after = holes_ - bytes;
+  if (excess_after > holes_after) return false;
+  holes_ -= bytes;
+  account_admit(flow, bytes);
+  return true;
+}
+
+void BufferSharingManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+  // Freed space replenishes the headroom first (up to its cap), and only
+  // the overflow becomes holes again — the paper's departure pseudocode.
+  headroom_ += bytes;
+  const std::int64_t cap = std::min(max_headroom_.count(), capacity().count());
+  holes_ += std::max(headroom_ - cap, static_cast<std::int64_t>(0));
+  headroom_ = std::min(headroom_, cap);
+  assert(holes_ + headroom_ + total_occupancy() == capacity().count());
+}
+
+}  // namespace bufq

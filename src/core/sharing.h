@@ -1,0 +1,68 @@
+// Buffer Sharing with thresholds (Section 3.3).
+//
+// Reserved shares are the fixed-partition thresholds T_i; unused buffer
+// space is made available to all active flows, except for a *headroom* of
+// up to H bytes kept aside for flows still below their threshold.  The
+// buffer space available for sharing is called the *holes*.
+//
+// Admission, on packet arrival (length L, flow occupancy q, threshold T):
+//   - q + L <= T  (below threshold): take from the holes first, then from
+//     the headroom; drop only if both together cannot cover L.
+//   - q + L >  T  (above threshold): take from the holes only, and only if
+//     the flow's excess after admission (q + L - T) does not exceed the
+//     holes that would remain — a flow can never grab more extra space
+//     than the holes that are left.
+//
+// On departure the freed bytes replenish the headroom up to H first, and
+// only the overflow returns to the holes (the paper's pseudocode):
+//
+//     headroom += packetlength;
+//     holes    += MAX(headroom - H, 0);
+//     headroom  = MIN(headroom, H);
+//
+// Invariant maintained throughout: holes + headroom + occupancy == B.
+// This sharing model is a flow-aware variant of the Choudhury-Hahne
+// Dynamic Threshold scheme [1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/flow_spec.h"
+#include "core/threshold.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class BufferSharingManager final : public AccountingBufferManager {
+ public:
+  /// Thresholds derived from the flows' declared envelopes.  Sharing keeps
+  /// the analytic (unscaled) thresholds by default: the slack *is* the
+  /// shared space.
+  BufferSharingManager(ByteSize capacity, Rate link_rate, const std::vector<FlowSpec>& flows,
+                       ByteSize max_headroom,
+                       ThresholdScaling scaling = ThresholdScaling::kExact);
+
+  /// Explicit thresholds (hybrid scheduler path).
+  BufferSharingManager(ByteSize capacity, std::vector<std::int64_t> thresholds,
+                       ByteSize max_headroom);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t threshold(FlowId flow) const;
+  [[nodiscard]] std::int64_t holes() const { return holes_; }
+  [[nodiscard]] std::int64_t headroom() const { return headroom_; }
+  [[nodiscard]] ByteSize max_headroom() const { return max_headroom_; }
+
+ private:
+  void init_pools();
+
+  std::vector<std::int64_t> thresholds_;
+  ByteSize max_headroom_;
+  std::int64_t holes_{0};
+  std::int64_t headroom_{0};
+};
+
+}  // namespace bufq

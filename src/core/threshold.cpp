@@ -1,0 +1,57 @@
+#include "core/threshold.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bufq {
+
+std::vector<std::int64_t> compute_thresholds(const std::vector<FlowSpec>& flows, ByteSize buffer,
+                                             Rate link_rate, ThresholdScaling scaling) {
+  assert(link_rate.bps() > 0.0);
+  std::vector<std::int64_t> thresholds;
+  thresholds.reserve(flows.size());
+  const double buffer_bytes = static_cast<double>(buffer.count());
+  for (const auto& flow : flows) {
+    const double share = flow.rho / link_rate;  // rho_i / R
+    const double t = static_cast<double>(flow.sigma.count()) + share * buffer_bytes;
+    thresholds.push_back(static_cast<std::int64_t>(std::llround(t)));
+  }
+  if (scaling == ThresholdScaling::kScaleToFill) {
+    const std::int64_t sum = std::accumulate(thresholds.begin(), thresholds.end(),
+                                             static_cast<std::int64_t>(0));
+    if (sum > 0 && sum < buffer.count()) {
+      const double scale = buffer_bytes / static_cast<double>(sum);
+      for (auto& t : thresholds) {
+        t = static_cast<std::int64_t>(std::llround(static_cast<double>(t) * scale));
+      }
+    }
+  }
+  return thresholds;
+}
+
+ThresholdManager::ThresholdManager(ByteSize capacity, Rate link_rate,
+                                   const std::vector<FlowSpec>& flows, ThresholdScaling scaling)
+    : AccountingBufferManager{capacity, flows.size()},
+      thresholds_{compute_thresholds(flows, capacity, link_rate, scaling)} {}
+
+ThresholdManager::ThresholdManager(ByteSize capacity, std::vector<std::int64_t> thresholds)
+    : AccountingBufferManager{capacity, thresholds.size()}, thresholds_{std::move(thresholds)} {}
+
+std::int64_t ThresholdManager::threshold(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < thresholds_.size());
+  return thresholds_[static_cast<std::size_t>(flow)];
+}
+
+bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  if (total_occupancy() + bytes > capacity().count()) return false;
+  if (occupancy(flow) + bytes > threshold(flow)) return false;
+  account_admit(flow, bytes);
+  return true;
+}
+
+void ThresholdManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  account_release(flow, bytes);
+}
+
+}  // namespace bufq

@@ -1,0 +1,56 @@
+// Fixed-partition threshold buffer management (Sections 2 and 3.2).
+//
+// Flow i is assigned the occupancy threshold
+//
+//     T_i = sigma_i + rho_i * B / R                       (Prop. 2)
+//
+// and a packet is admitted iff it fits in the buffer AND does not push its
+// flow past T_i.  When the sum of thresholds is below B, all thresholds
+// are scaled up by B / sum so the buffer is fully partitioned (footnote 5
+// of the paper); the scale-up is optional here so its effect can be
+// ablated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/flow_spec.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// How to treat slack when sum(T_i) < B.
+enum class ThresholdScaling {
+  /// Scale every threshold by B / sum(T_i)  (the paper's footnote 5).
+  kScaleToFill,
+  /// Keep the analytic thresholds as-is.
+  kExact,
+};
+
+/// Computes the per-flow thresholds sigma_i + rho_i * B / R (in bytes).
+[[nodiscard]] std::vector<std::int64_t> compute_thresholds(
+    const std::vector<FlowSpec>& flows, ByteSize buffer, Rate link_rate,
+    ThresholdScaling scaling = ThresholdScaling::kScaleToFill);
+
+class ThresholdManager final : public AccountingBufferManager {
+ public:
+  /// Thresholds derived from the flows' declared envelopes.
+  ThresholdManager(ByteSize capacity, Rate link_rate, const std::vector<FlowSpec>& flows,
+                   ThresholdScaling scaling = ThresholdScaling::kScaleToFill);
+
+  /// Explicit thresholds (used by the hybrid scheduler, which derives them
+  /// from per-queue buffer shares).
+  ThresholdManager(ByteSize capacity, std::vector<std::int64_t> thresholds);
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t threshold(FlowId flow) const;
+  [[nodiscard]] const std::vector<std::int64_t>& thresholds() const { return thresholds_; }
+
+ private:
+  std::vector<std::int64_t> thresholds_;
+};
+
+}  // namespace bufq

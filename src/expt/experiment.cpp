@@ -1,0 +1,241 @@
+#include "expt/experiment.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "core/buffer_manager.h"
+#include "core/dynamic_threshold.h"
+#include "core/red.h"
+#include "core/sharing.h"
+#include "core/threshold.h"
+#include "sched/fifo.h"
+#include "sched/hybrid.h"
+#include "sched/wfq.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "stats/delay.h"
+#include "traffic/shaper.h"
+#include "traffic/sources.h"
+#include "util/rng.h"
+
+namespace bufq {
+
+double ExperimentResult::aggregate_throughput_mbps() const {
+  std::int64_t delivered = 0;
+  for (const auto& c : per_flow) delivered += c.delivered_bytes;
+  return static_cast<double>(delivered) * 8.0 / interval.to_seconds() * 1e-6;
+}
+
+double ExperimentResult::utilization(Rate link_rate) const {
+  return aggregate_throughput_mbps() / link_rate.mbps();
+}
+
+double ExperimentResult::flow_throughput_mbps(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow.size());
+  const auto& c = per_flow[static_cast<std::size_t>(flow)];
+  return static_cast<double>(c.delivered_bytes) * 8.0 / interval.to_seconds() * 1e-6;
+}
+
+double ExperimentResult::loss_ratio(const std::vector<FlowId>& flows) const {
+  std::int64_t offered = 0;
+  std::int64_t dropped = 0;
+  for (FlowId f : flows) {
+    assert(f >= 0 && static_cast<std::size_t>(f) < per_flow.size());
+    offered += per_flow[static_cast<std::size_t>(f)].offered_bytes;
+    dropped += per_flow[static_cast<std::size_t>(f)].dropped_bytes;
+  }
+  return offered > 0 ? static_cast<double>(dropped) / static_cast<double>(offered) : 0.0;
+}
+
+std::vector<FlowSpec> flow_specs(const std::vector<TrafficProfile>& flows) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(flows.size());
+  for (const auto& f : flows) {
+    specs.push_back(FlowSpec{.rho = f.token_rate, .sigma = f.bucket});
+  }
+  return specs;
+}
+
+namespace {
+
+/// The scheduler/manager pair for a scheme, with ownership of both.
+struct Pipeline {
+  std::unique_ptr<BufferManager> manager;
+  std::unique_ptr<QueueDiscipline> discipline;
+};
+
+Pipeline build_pipeline(const ExperimentConfig& config) {
+  const auto specs = flow_specs(config.flows);
+  const std::size_t n = specs.size();
+  Pipeline p;
+
+  if (config.scheme.scheduler == SchedulerKind::kHybrid) {
+    if (config.scheme.groups.empty()) {
+      throw std::invalid_argument("hybrid scheme requires a flow grouping");
+    }
+    HybridBuilder builder{config.link_rate, config.buffer, specs, config.scheme.groups};
+    std::unique_ptr<CompositeBufferManager> manager;
+    switch (config.scheme.manager) {
+      case ManagerKind::kThreshold:
+        manager = builder.make_threshold_manager();
+        break;
+      case ManagerKind::kSharing:
+        manager = builder.make_sharing_manager(config.scheme.headroom);
+        break;
+      case ManagerKind::kNone:
+      case ManagerKind::kSelectiveSharing:
+      case ManagerKind::kDynamicThreshold:
+      case ManagerKind::kRed:
+      case ManagerKind::kFred:
+        throw std::invalid_argument(
+            "hybrid scheme supports kThreshold or kSharing per-queue management");
+    }
+    p.discipline = builder.make_scheduler(*manager);
+    p.manager = std::move(manager);
+    return p;
+  }
+
+  switch (config.scheme.manager) {
+    case ManagerKind::kNone:
+      p.manager = std::make_unique<TailDropManager>(config.buffer, n);
+      break;
+    case ManagerKind::kThreshold:
+      p.manager = std::make_unique<ThresholdManager>(config.buffer, config.link_rate, specs);
+      break;
+    case ManagerKind::kSharing:
+      p.manager = std::make_unique<BufferSharingManager>(config.buffer, config.link_rate, specs,
+                                                         config.scheme.headroom);
+      break;
+    case ManagerKind::kSelectiveSharing: {
+      auto classes = config.scheme.sharing_classes;
+      if (classes.empty()) {
+        // Default policy: conformant (regulated) flows may adapt into the
+        // excess space; unregulated ones are held to their reservation.
+        classes.reserve(n);
+        for (const auto& f : config.flows) {
+          classes.push_back(f.regulated ? SharingClass::kAdaptive : SharingClass::kBlocked);
+        }
+      }
+      p.manager = std::make_unique<SelectiveSharingManager>(
+          config.buffer, config.link_rate, specs, std::move(classes), config.scheme.headroom);
+      break;
+    }
+    case ManagerKind::kDynamicThreshold:
+      p.manager = std::make_unique<DynamicThresholdManager>(config.buffer, n,
+                                                            config.scheme.dt_alpha);
+      break;
+    case ManagerKind::kRed: {
+      const auto b = static_cast<double>(config.buffer.count());
+      p.manager = std::make_unique<RedManager>(
+          config.buffer, n,
+          RedParams{.weight = 0.002,
+                    .min_threshold =
+                        static_cast<std::int64_t>(b * config.scheme.red_min_fraction),
+                    .max_threshold =
+                        static_cast<std::int64_t>(b * config.scheme.red_max_fraction),
+                    .max_p = config.scheme.red_max_p},
+          Rng{config.seed ^ 0x0ED0ull});
+      break;
+    }
+    case ManagerKind::kFred: {
+      const auto b = static_cast<double>(config.buffer.count());
+      p.manager = std::make_unique<FredManager>(
+          config.buffer, n,
+          FredParams{.red = RedParams{.weight = 0.002,
+                                      .min_threshold = static_cast<std::int64_t>(
+                                          b * config.scheme.red_min_fraction),
+                                      .max_threshold = static_cast<std::int64_t>(
+                                          b * config.scheme.red_max_fraction),
+                                      .max_p = config.scheme.red_max_p},
+                     .min_q = 2 * config.packet_bytes,
+                     .strike_limit = 1},
+          Rng{config.seed ^ 0xF4EDull});
+      break;
+    }
+  }
+
+  if (config.scheme.scheduler == SchedulerKind::kFifo) {
+    p.discipline = std::make_unique<FifoScheduler>(*p.manager);
+  } else {
+    std::vector<double> weights;
+    weights.reserve(n);
+    for (const auto& s : specs) weights.push_back(s.rho.bps());
+    p.discipline =
+        std::make_unique<WfqScheduler>(*p.manager, config.link_rate, std::move(weights));
+  }
+  return p;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  assert(!config.flows.empty());
+  assert(config.duration > Time::zero());
+
+  Simulator sim;
+  Pipeline pipeline = build_pipeline(config);
+  Link link{sim, *pipeline.discipline, config.link_rate};
+
+  StatsCollector stats{config.flows.size()};
+  DelayRecorder delays{config.flows.size()};
+  link.set_delivery_handler([&](const Packet& p, Time t) {
+    stats.on_delivered(p, t);
+    if (config.record_delays && t >= config.warmup) delays.record(p, t);
+  });
+  pipeline.discipline->set_drop_handler(
+      [&stats](const Packet& p, Time t) { stats.on_dropped(p, t); });
+
+  OfferedTrafficTap tap{stats, link};
+
+  // Sources and shapers; regulated flows pass through a leaky bucket with
+  // their declared profile before being offered to the multiplexer.
+  Rng master{config.seed};
+  std::vector<std::unique_ptr<LeakyBucketShaper>> shapers;
+  std::vector<std::unique_ptr<MarkovOnOffSource>> sources;
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const auto& profile = config.flows[f];
+    PacketSink* entry = &tap;
+    if (profile.regulated) {
+      shapers.push_back(std::make_unique<LeakyBucketShaper>(sim, tap, profile.bucket,
+                                                            profile.token_rate,
+                                                            profile.peak_rate));
+      entry = shapers.back().get();
+    }
+    auto params = MarkovOnOffSource::params_from_profile(static_cast<FlowId>(f), profile,
+                                                         config.packet_bytes);
+    params.on_distribution = config.burst_distribution;
+    params.pareto_shape = config.pareto_shape;
+    sources.push_back(
+        std::make_unique<MarkovOnOffSource>(sim, *entry, params, master.fork(f)));
+    sources.back()->start();
+  }
+
+  std::vector<FlowCounters> at_warmup;
+  sim.at(config.warmup, [&] { at_warmup = stats.snapshot(); });
+  sim.run_until(config.warmup + config.duration);
+
+  const auto at_end = stats.snapshot();
+  ExperimentResult result;
+  result.interval = config.duration;
+  result.per_flow.reserve(at_end.size());
+  for (std::size_t f = 0; f < at_end.size(); ++f) {
+    result.per_flow.push_back(at_end[f] - at_warmup[f]);
+  }
+  if (config.record_delays) {
+    result.delays.reserve(config.flows.size());
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const auto flow = static_cast<FlowId>(f);
+      result.delays.push_back(DelaySummary{
+          .mean_s = delays.mean_delay(flow).to_seconds(),
+          .max_s = delays.max_delay(flow).to_seconds(),
+          .p50_s = delays.quantile(flow, 0.50).to_seconds(),
+          .p99_s = delays.quantile(flow, 0.99).to_seconds(),
+          .packets = delays.count(flow),
+      });
+    }
+  }
+  return result;
+}
+
+}  // namespace bufq

@@ -1,0 +1,103 @@
+// One-stop experiment pipeline: wires sources -> (shapers) -> offered-
+// traffic tap -> scheduler+buffer-manager -> link -> stats, runs a warmup
+// plus a measured interval, and returns per-flow steady-state counters.
+// Every simulation figure of the paper is a sweep over these runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow_spec.h"
+#include "core/selective_sharing.h"
+#include "sim/packet.h"
+#include "traffic/sources.h"
+#include "stats/collector.h"
+#include "traffic/profile.h"
+#include "util/units.h"
+
+namespace bufq {
+
+enum class SchedulerKind {
+  kFifo,    ///< single FIFO queue
+  kWfq,     ///< per-flow WFQ, weights = token rates
+  kHybrid,  ///< k FIFO queues under WFQ (Section 4)
+};
+
+enum class ManagerKind {
+  kNone,              ///< shared tail drop ("no buffer management")
+  kThreshold,         ///< fixed-partition thresholds (Section 3.2)
+  kSharing,           ///< buffer sharing with holes/headroom (Section 3.3)
+  kSelectiveSharing,  ///< Section 5 extension: per-flow sharing classes
+  kDynamicThreshold,  ///< Choudhury-Hahne DT (the paper's reference [1])
+  kRed,               ///< RED (reference [3]) — congestion signaling baseline
+  kFred,              ///< Flow RED (reference [5]) — per-flow RED baseline
+};
+
+struct SchemeConfig {
+  SchedulerKind scheduler{SchedulerKind::kFifo};
+  ManagerKind manager{ManagerKind::kThreshold};
+  /// Headroom H for the sharing managers (the paper's default is 2 MB).
+  ByteSize headroom{ByteSize::megabytes(2.0)};
+  /// Flow grouping for SchedulerKind::kHybrid; ignored otherwise.
+  std::vector<std::vector<FlowId>> groups;
+  /// Per-flow classes for kSelectiveSharing.  Empty = derive from the
+  /// profiles: regulated flows are adaptive, unregulated ones blocked.
+  std::vector<SharingClass> sharing_classes;
+  /// DT multiplier for kDynamicThreshold.
+  double dt_alpha{1.0};
+  /// RED/FRED EWMA thresholds as fractions of the buffer.
+  double red_min_fraction{0.25};
+  double red_max_fraction{0.75};
+  double red_max_p{0.1};
+};
+
+struct ExperimentConfig {
+  Rate link_rate;
+  ByteSize buffer;
+  std::vector<TrafficProfile> flows;
+  SchemeConfig scheme;
+  /// Transient discarded before measurement starts.
+  Time warmup{Time::seconds(5)};
+  /// Measured interval.
+  Time duration{Time::seconds(20)};
+  std::uint64_t seed{1};
+  std::int64_t packet_bytes{500};
+  /// When true, per-flow queueing-delay statistics are collected over the
+  /// measured interval (slightly more work per delivery).
+  bool record_delays{false};
+  /// ON-period law for every source (robustness experiments swap the
+  /// paper's exponential bursts for heavy-tailed or deterministic ones).
+  BurstDistribution burst_distribution{BurstDistribution::kExponential};
+  double pareto_shape{1.5};
+};
+
+/// Per-flow delay digest for the measured interval.
+struct DelaySummary {
+  double mean_s{0.0};
+  double max_s{0.0};
+  double p50_s{0.0};
+  double p99_s{0.0};
+  std::uint64_t packets{0};
+};
+
+struct ExperimentResult {
+  /// Counter deltas over the measured interval, per flow.
+  std::vector<FlowCounters> per_flow;
+  /// Filled only when ExperimentConfig::record_delays was set.
+  std::vector<DelaySummary> delays;
+  Time interval{Time::zero()};
+
+  [[nodiscard]] double aggregate_throughput_mbps() const;
+  [[nodiscard]] double utilization(Rate link_rate) const;
+  [[nodiscard]] double flow_throughput_mbps(FlowId flow) const;
+  /// Dropped/offered bytes aggregated over a set of flows.
+  [[nodiscard]] double loss_ratio(const std::vector<FlowId>& flows) const;
+};
+
+/// Extracts the (sigma, rho) envelopes the buffer managers need.
+[[nodiscard]] std::vector<FlowSpec> flow_specs(const std::vector<TrafficProfile>& flows);
+
+/// Runs one experiment to completion.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace bufq

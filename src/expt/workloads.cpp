@@ -1,0 +1,68 @@
+#include "expt/workloads.h"
+
+namespace bufq {
+namespace {
+
+TrafficProfile make_profile(double peak_mbps, double avg_mbps, double bucket_kb,
+                            double token_mbps, double burst_kb, bool regulated) {
+  return TrafficProfile{
+      .peak_rate = Rate::megabits_per_second(peak_mbps),
+      .avg_rate = Rate::megabits_per_second(avg_mbps),
+      .bucket = ByteSize::kilobytes(bucket_kb),
+      .token_rate = Rate::megabits_per_second(token_mbps),
+      .mean_burst = ByteSize::kilobytes(burst_kb),
+      .regulated = regulated,
+  };
+}
+
+}  // namespace
+
+Rate paper_link_rate() { return Rate::megabits_per_second(48.0); }
+
+std::vector<TrafficProfile> table1_flows() {
+  std::vector<TrafficProfile> flows;
+  flows.reserve(9);
+  // Conformant: mean burst equals the declared bucket; leaky-bucket
+  // regulated.
+  for (int i = 0; i < 3; ++i) flows.push_back(make_profile(16, 2, 50, 2, 50, true));
+  for (int i = 0; i < 3; ++i) flows.push_back(make_profile(40, 8, 100, 8, 100, true));
+  // Aggressive: unregulated, mean bursts 5x the declared bucket.
+  for (int i = 0; i < 2; ++i) flows.push_back(make_profile(40, 4, 50, 0.4, 250, false));
+  flows.push_back(make_profile(40, 16, 50, 2, 250, false));
+  return flows;
+}
+
+std::vector<TrafficProfile> table2_flows() {
+  std::vector<TrafficProfile> flows;
+  flows.reserve(30);
+  for (int i = 0; i < 10; ++i) flows.push_back(make_profile(8, 0.6, 15, 0.6, 15, true));
+  // Moderately non-conformant: mean rate and burst match the declared
+  // profile, but the stream is not reshaped, so it can transiently exceed
+  // its envelope.
+  for (int i = 0; i < 10; ++i) flows.push_back(make_profile(24, 2.4, 30, 2.4, 30, false));
+  // Aggressive: 8x the reservation, 500 KB mean bursts.
+  for (int i = 0; i < 10; ++i) flows.push_back(make_profile(8, 2.4, 35, 0.3, 500, false));
+  return flows;
+}
+
+std::vector<std::vector<FlowId>> case1_groups() {
+  return {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+}
+
+std::vector<std::vector<FlowId>> case2_groups() {
+  std::vector<std::vector<FlowId>> groups(3);
+  for (FlowId f = 0; f < 10; ++f) groups[0].push_back(f);
+  for (FlowId f = 10; f < 20; ++f) groups[1].push_back(f);
+  for (FlowId f = 20; f < 30; ++f) groups[2].push_back(f);
+  return groups;
+}
+
+std::vector<FlowId> table1_conformant_flows() { return {0, 1, 2, 3, 4, 5}; }
+
+std::vector<FlowId> table2_conformant_flows() { return {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}; }
+
+std::vector<FlowId> table2_moderate_flows() {
+  return {10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+}
+
+}  // namespace bufq

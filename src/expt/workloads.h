@@ -1,0 +1,52 @@
+// The paper's two workloads, transcribed from Tables 1 and 2, plus the
+// queue groupings used by the hybrid case studies of Section 4.2.
+//
+// Table 1 (Section 3.2, link 48 Mb/s, 500-byte packets):
+//   flows 0-2: peak 16, avg 2,  bucket 50 KB,  token rate 2   (conformant)
+//   flows 3-5: peak 40, avg 8,  bucket 100 KB, token rate 8   (conformant)
+//   flows 6-7: peak 40, avg 4,  bucket 50 KB,  token rate 0.4 (aggressive)
+//   flow  8:   peak 40, avg 16, bucket 50 KB,  token rate 2   (aggressive)
+// Aggressive flows are unregulated and emit mean bursts 5x their declared
+// bucket.  Aggregate reservation 32.8 Mb/s (~68% of the link); mean
+// offered load slightly above link capacity.
+//
+// Table 2 (Section 4.2 Case 2, link 48 Mb/s):
+//   flows 0-9:   peak 8,  avg 0.6, bucket 15 KB, rate 0.6 (conformant)
+//   flows 10-19: peak 24, avg 2.4, bucket 30 KB, rate 2.4 (moderately
+//                non-conformant: profile-matching ON-OFF, unregulated)
+//   flows 20-29: peak 8,  avg 2.4, bucket 35 KB, rate 0.3 (aggressive:
+//                8x reservation, 500 KB mean bursts)
+#pragma once
+
+#include <vector>
+
+#include "sim/packet.h"
+#include "traffic/profile.h"
+
+namespace bufq {
+
+/// The paper's packet size: sources emit maximum-size 500-byte packets.
+inline constexpr std::int64_t kPaperPacketBytes = 500;
+
+/// The simulated link: 48 Mb/s, "a little over T3 capacity".
+[[nodiscard]] Rate paper_link_rate();
+
+/// Flows of Table 1, indexed by FlowId 0..8.
+[[nodiscard]] std::vector<TrafficProfile> table1_flows();
+
+/// Flows of Table 2, indexed by FlowId 0..29.
+[[nodiscard]] std::vector<TrafficProfile> table2_flows();
+
+/// Case 1 grouping: {0,1,2} {3,4,5} {6,7,8}.
+[[nodiscard]] std::vector<std::vector<FlowId>> case1_groups();
+
+/// Case 2 grouping: the three ranks of Table 2.
+[[nodiscard]] std::vector<std::vector<FlowId>> case2_groups();
+
+/// Flow indices the respective figure treats as conformant.
+[[nodiscard]] std::vector<FlowId> table1_conformant_flows();
+[[nodiscard]] std::vector<FlowId> table2_conformant_flows();
+/// Table 2's "moderately non-conformant" middle rank.
+[[nodiscard]] std::vector<FlowId> table2_moderate_flows();
+
+}  // namespace bufq

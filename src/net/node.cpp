@@ -1,0 +1,75 @@
+#include "net/node.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bufq {
+
+OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
+                       std::unique_ptr<BufferManager> manager,
+                       std::unique_ptr<QueueDiscipline> discipline, PacketSink* downstream)
+    : sim_{sim},
+      propagation_{propagation_delay},
+      manager_{std::move(manager)},
+      discipline_{std::move(discipline)},
+      downstream_{downstream} {
+  assert(manager_ != nullptr);
+  assert(discipline_ != nullptr);
+  assert(propagation_ >= Time::zero());
+  discipline_->set_drop_handler([this](const Packet& p, Time) {
+    dropped_bytes_ += p.size_bytes;
+    ++dropped_packets_;
+  });
+  link_ = std::make_unique<Link>(sim_, *discipline_, rate);
+  if (downstream_ != nullptr) {
+    link_->set_delivery_handler([this](const Packet& p, Time) {
+      if (propagation_ == Time::zero()) {
+        downstream_->accept(p);
+      } else {
+        sim_.in(propagation_, [this, p] { downstream_->accept(p); });
+      }
+    });
+  }
+}
+
+Node::Node(std::string name) : name_{std::move(name)} {}
+
+std::size_t Node::add_port(std::unique_ptr<OutputPort> port) {
+  assert(port != nullptr);
+  ports_.push_back(std::move(port));
+  return ports_.size() - 1;
+}
+
+void Node::route(FlowId flow, std::size_t port_index) {
+  assert(flow >= 0);
+  assert(port_index < ports_.size());
+  if (static_cast<std::size_t>(flow) >= routes_.size()) {
+    routes_.resize(static_cast<std::size_t>(flow) + 1, -1);
+  }
+  routes_[static_cast<std::size_t>(flow)] = static_cast<std::int64_t>(port_index);
+}
+
+void Node::accept(const Packet& packet) {
+  const auto f = static_cast<std::size_t>(packet.flow);
+  if (packet.flow < 0 || f >= routes_.size() || routes_[f] < 0) {
+    ++unrouted_packets_;
+    return;
+  }
+  ports_[static_cast<std::size_t>(routes_[f])]->ingress().accept(packet);
+}
+
+OutputPort& Node::port(std::size_t index) {
+  assert(index < ports_.size());
+  return *ports_[index];
+}
+
+FlowSpec output_envelope(const FlowSpec& input, ByteSize hop_buffer, Rate hop_rate) {
+  assert(hop_rate.bps() > 0.0);
+  const double delay_bound_s =
+      static_cast<double>(hop_buffer.count()) / hop_rate.bytes_per_second();
+  const auto growth = static_cast<std::int64_t>(
+      std::llround(input.rho.bytes_per_second() * delay_bound_s));
+  return FlowSpec{input.rho, input.sigma + ByteSize::bytes(growth)};
+}
+
+}  // namespace bufq

@@ -1,0 +1,97 @@
+// Multi-node substrate: routers built from the library's schedulers and
+// buffer managers, connected by links with propagation delay.
+//
+// The paper analyzes a single multiplexing point but its setting is a
+// backbone path (cf. its reference [4], per-node shaping).  This module
+// lets experiments chain hops: a Node forwards each packet, by flow, to
+// one of its OutputPorts; a port runs a QueueDiscipline + BufferManager in
+// front of a Link whose deliveries are handed — after a propagation
+// delay — to the next hop's ingress.
+//
+// Composition rule (network calculus, used by tests and the multi_hop
+// example): a (sigma, rho)-conformant flow leaving a FIFO hop with buffer
+// B and rate R is (sigma + rho * B/R, rho)-conformant, because the hop
+// delays any bit by at most B/R.  `output_envelope` computes the inflated
+// envelope to provision the next hop with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/flow_spec.h"
+#include "sim/link.h"
+#include "sim/queue_discipline.h"
+#include "sim/simulator.h"
+
+namespace bufq {
+
+/// One output interface of a node: buffer manager + queue discipline +
+/// transmission link + (optionally) a downstream sink reached after a
+/// propagation delay.
+class OutputPort {
+ public:
+  /// The port owns its manager and discipline; `discipline` must already
+  /// reference `*manager`.  `downstream` may be null (traffic terminates
+  /// here); it must outlive the port.
+  OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
+             std::unique_ptr<BufferManager> manager,
+             std::unique_ptr<QueueDiscipline> discipline, PacketSink* downstream);
+
+  OutputPort(const OutputPort&) = delete;
+  OutputPort& operator=(const OutputPort&) = delete;
+
+  /// Where upstream hands packets in.
+  [[nodiscard]] PacketSink& ingress() { return *link_; }
+
+  /// Counts every packet the discipline refused.
+  [[nodiscard]] std::int64_t dropped_bytes() const { return dropped_bytes_; }
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
+  [[nodiscard]] const Link& link() const { return *link_; }
+  [[nodiscard]] const BufferManager& manager() const { return *manager_; }
+
+ private:
+  Simulator& sim_;
+  Time propagation_;
+  std::unique_ptr<BufferManager> manager_;
+  std::unique_ptr<QueueDiscipline> discipline_;
+  std::unique_ptr<Link> link_;
+  PacketSink* downstream_;
+  std::int64_t dropped_bytes_{0};
+  std::uint64_t dropped_packets_{0};
+};
+
+/// A router: forwards packets to output ports by flow id.
+class Node final : public PacketSink {
+ public:
+  explicit Node(std::string name);
+
+  /// Adds a port and returns its index.  The node owns the port.
+  std::size_t add_port(std::unique_ptr<OutputPort> port);
+
+  /// Routes `flow` through port `port_index`.  A flow without a route is
+  /// dropped on arrival (counted in unrouted_packets).
+  void route(FlowId flow, std::size_t port_index);
+
+  void accept(const Packet& packet) override;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] OutputPort& port(std::size_t index);
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] std::uint64_t unrouted_packets() const { return unrouted_packets_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<OutputPort>> ports_;
+  std::vector<std::int64_t> routes_;  // flow -> port index, -1 = unrouted
+  std::uint64_t unrouted_packets_{0};
+};
+
+/// Envelope of a (sigma, rho)-conformant flow after it traverses a FIFO
+/// hop with total buffer B served at rate R: burst grows by rho * B / R.
+[[nodiscard]] FlowSpec output_envelope(const FlowSpec& input, ByteSize hop_buffer,
+                                       Rate hop_rate);
+
+}  // namespace bufq

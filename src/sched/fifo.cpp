@@ -1,0 +1,26 @@
+#include "sched/fifo.h"
+
+namespace bufq {
+
+FifoScheduler::FifoScheduler(BufferManager& manager) : manager_{manager} {}
+
+bool FifoScheduler::enqueue(const Packet& packet, Time now) {
+  if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    if (on_drop_) on_drop_(packet, now);
+    return false;
+  }
+  queue_.push_back(packet);
+  backlog_bytes_ += packet.size_bytes;
+  return true;
+}
+
+std::optional<Packet> FifoScheduler::dequeue(Time now) {
+  if (queue_.empty()) return std::nullopt;
+  Packet packet = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= packet.size_bytes;
+  manager_.release(packet.flow, packet.size_bytes, now);
+  return packet;
+}
+
+}  // namespace bufq

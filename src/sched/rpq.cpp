@@ -1,0 +1,48 @@
+#include "sched/rpq.h"
+
+#include <cassert>
+
+namespace bufq {
+
+RpqScheduler::RpqScheduler(BufferManager& manager, std::vector<Time> delay_targets,
+                           Time granularity)
+    : manager_{manager}, delay_targets_{std::move(delay_targets)}, granularity_{granularity} {
+  assert(granularity_ > Time::zero());
+  for (const Time& d : delay_targets_) {
+    assert(d >= Time::zero());
+    (void)d;
+  }
+}
+
+std::int64_t RpqScheduler::slot_for(Time deadline) const {
+  return deadline.ns() / granularity_.ns();
+}
+
+bool RpqScheduler::enqueue(const Packet& packet, Time now) {
+  if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    if (on_drop_) on_drop_(packet, now);
+    return false;
+  }
+  assert(packet.flow >= 0 &&
+         static_cast<std::size_t>(packet.flow) < delay_targets_.size());
+  const Time deadline = now + delay_targets_[static_cast<std::size_t>(packet.flow)];
+  calendar_[slot_for(deadline)].push_back(packet);
+  ++backlogged_packets_;
+  backlog_bytes_ += packet.size_bytes;
+  return true;
+}
+
+std::optional<Packet> RpqScheduler::dequeue(Time now) {
+  if (backlogged_packets_ == 0) return std::nullopt;
+  const auto it = calendar_.begin();
+  assert(!it->second.empty());
+  const Packet packet = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) calendar_.erase(it);
+  --backlogged_packets_;
+  backlog_bytes_ -= packet.size_bytes;
+  manager_.release(packet.flow, packet.size_bytes, now);
+  return packet;
+}
+
+}  // namespace bufq

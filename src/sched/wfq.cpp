@@ -1,0 +1,107 @@
+#include "sched/wfq.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace bufq {
+namespace {
+
+std::vector<std::size_t> identity_map(std::size_t n) {
+  std::vector<std::size_t> map(n);
+  std::iota(map.begin(), map.end(), std::size_t{0});
+  return map;
+}
+
+}  // namespace
+
+WfqScheduler::WfqScheduler(BufferManager& manager, Rate link_rate, std::vector<double> weights)
+    : WfqScheduler{manager, link_rate, identity_map(weights.size()), std::move(weights)} {}
+
+WfqScheduler::WfqScheduler(BufferManager& manager, Rate link_rate,
+                           std::vector<std::size_t> flow_to_class,
+                           std::vector<double> class_weights)
+    : manager_{manager}, link_rate_{link_rate}, flow_to_class_{std::move(flow_to_class)} {
+  assert(link_rate.bps() > 0.0);
+  classes_.resize(class_weights.size());
+  for (std::size_t c = 0; c < class_weights.size(); ++c) {
+    assert(class_weights[c] > 0.0 && "WFQ weights must be positive");
+    classes_[c].weight = class_weights[c];
+  }
+  for (std::size_t cls : flow_to_class_) {
+    assert(cls < classes_.size());
+    (void)cls;
+  }
+}
+
+std::size_t WfqScheduler::class_queue_length(std::size_t cls) const {
+  assert(cls < classes_.size());
+  return classes_[cls].queue.size();
+}
+
+void WfqScheduler::advance_virtual_time(Time now) {
+  assert(now >= vt_updated_);
+  if (active_weight_ > 0.0) {
+    // PGPS virtual time: dV/dt = R / sum(weights of backlogged classes),
+    // with the packet-system backlog approximating the GPS busy set.  V
+    // and the finish stamps are both in bits-per-unit-weight, so a class
+    // returning from idle is stamped at the current fair-share level and
+    // can neither claim retroactive credit nor be penalized for idling.
+    virtual_time_ += (now - vt_updated_).to_seconds() * link_rate_.bps() / active_weight_;
+  }
+  vt_updated_ = now;
+}
+
+bool WfqScheduler::enqueue(const Packet& packet, Time now) {
+  if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    if (on_drop_) on_drop_(packet, now);
+    return false;
+  }
+  advance_virtual_time(now);
+
+  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flow_to_class_.size());
+  const std::size_t cls = flow_to_class_[static_cast<std::size_t>(packet.flow)];
+  ClassState& state = classes_[cls];
+
+  const double start = std::max(virtual_time_, state.last_finish);
+  const double finish = start + static_cast<double>(packet.size_bytes) * 8.0 / state.weight;
+  state.last_finish = finish;
+
+  if (state.queue.empty()) {
+    hol_.insert({finish, cls});
+    active_weight_ += state.weight;
+  }
+  state.queue.push_back(StampedPacket{packet, finish});
+  ++backlogged_packets_;
+  backlog_bytes_ += packet.size_bytes;
+  return true;
+}
+
+std::optional<Packet> WfqScheduler::dequeue(Time now) {
+  if (backlogged_packets_ == 0) return std::nullopt;
+  advance_virtual_time(now);
+
+  const auto it = hol_.begin();
+  const std::size_t cls = it->second;
+  hol_.erase(it);
+
+  ClassState& state = classes_[cls];
+  assert(!state.queue.empty());
+  const StampedPacket head = state.queue.front();
+  state.queue.pop_front();
+
+  if (state.queue.empty()) {
+    active_weight_ -= state.weight;
+    // Keep the active-weight accumulator exactly zero when idle so long
+    // runs do not accumulate float dust.
+    if (backlogged_packets_ == 1) active_weight_ = 0.0;
+  } else {
+    hol_.insert({state.queue.front().finish, cls});
+  }
+
+  --backlogged_packets_;
+  backlog_bytes_ -= head.packet.size_bytes;
+  manager_.release(head.packet.flow, head.packet.size_bytes, now);
+  return head.packet;
+}
+
+}  // namespace bufq

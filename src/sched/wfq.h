@@ -1,0 +1,82 @@
+// Weighted Fair Queueing (PGPS) with the standard virtual-time emulation.
+//
+// The scheduler serves *classes*: a class is either an individual flow
+// (classic per-flow WFQ, the paper's benchmark) or a group of flows
+// sharing one FIFO queue (the hybrid architecture of Section 4, where a
+// small, fixed number of classes keeps the sorting cost bounded).
+//
+// Virtual time V(t) advances at rate R / sum of weights of backlogged
+// classes — the usual packet-system approximation of the GPS busy set.
+// A packet of length L arriving to class c is stamped with the virtual
+// finish time
+//
+//     F = max(V(now), F_last[c]) + L / w_c,
+//
+// and the scheduler always transmits the head-of-line packet with the
+// smallest stamp.  Per-packet cost is O(log k) in the number of active
+// classes, which is the scalability cost the paper's buffer-management
+// scheme avoids.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "sim/queue_discipline.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class WfqScheduler final : public QueueDiscipline {
+ public:
+  /// Per-flow WFQ: class i == flow i, with the given weights (any
+  /// positive unit; the paper uses the flows' token rates).  `link_rate`
+  /// is the rate of the link this scheduler feeds; the virtual clock
+  /// advances at link_rate / sum(active weights).
+  WfqScheduler(BufferManager& manager, Rate link_rate, std::vector<double> weights);
+
+  /// Class-based WFQ: `flow_to_class[f]` names the class of flow f and
+  /// `class_weights[c]` its weight.  Used by the hybrid architecture.
+  WfqScheduler(BufferManager& manager, Rate link_rate, std::vector<std::size_t> flow_to_class,
+               std::vector<double> class_weights);
+
+  bool enqueue(const Packet& packet, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  [[nodiscard]] bool empty() const override { return backlogged_packets_ == 0; }
+  [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
+  void set_drop_handler(DropHandler handler) override { on_drop_ = std::move(handler); }
+
+  [[nodiscard]] std::size_t class_count() const { return classes_.size(); }
+  [[nodiscard]] std::size_t class_queue_length(std::size_t cls) const;
+  [[nodiscard]] double virtual_time() const { return virtual_time_; }
+
+ private:
+  struct StampedPacket {
+    Packet packet;
+    double finish;  ///< virtual finish time
+  };
+  struct ClassState {
+    double weight{0.0};
+    double last_finish{0.0};
+    std::deque<StampedPacket> queue;
+  };
+
+  void advance_virtual_time(Time now);
+
+  BufferManager& manager_;
+  Rate link_rate_;
+  std::vector<std::size_t> flow_to_class_;
+  std::vector<ClassState> classes_;
+  /// Head-of-line stamps of backlogged classes, ordered by (finish, class).
+  std::set<std::pair<double, std::size_t>> hol_;
+  double virtual_time_{0.0};
+  double active_weight_{0.0};
+  Time vt_updated_{Time::zero()};
+  std::uint64_t backlogged_packets_{0};
+  std::int64_t backlog_bytes_{0};
+  DropHandler on_drop_;
+};
+
+}  // namespace bufq

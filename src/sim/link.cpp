@@ -1,0 +1,34 @@
+#include "sim/link.h"
+
+#include <cassert>
+
+namespace bufq {
+
+Link::Link(Simulator& sim, QueueDiscipline& queue, Rate rate)
+    : sim_{sim}, queue_{queue}, rate_{rate} {
+  assert(rate.bps() > 0.0);
+}
+
+void Link::accept(const Packet& packet) {
+  queue_.enqueue(packet, sim_.now());
+  if (!busy_) try_transmit();
+}
+
+void Link::try_transmit() {
+  assert(!busy_);
+  auto next = queue_.dequeue(sim_.now());
+  if (!next) return;
+  busy_ = true;
+  const Time tx = rate_.transmission_time(next->size_bytes);
+  sim_.in(tx, [this, packet = *next] { finish_transmission(packet); });
+}
+
+void Link::finish_transmission(const Packet& packet) {
+  busy_ = false;
+  bytes_delivered_ += packet.size_bytes;
+  ++packets_delivered_;
+  if (on_delivery_) on_delivery_(packet, sim_.now());
+  try_transmit();
+}
+
+}  // namespace bufq

@@ -1,0 +1,54 @@
+// Output link: serves a QueueDiscipline at a constant bit rate.
+//
+// The link is work conserving: whenever it is idle and the discipline is
+// non-empty it begins transmitting the discipline's next packet, which
+// completes after size * 8 / rate.  Buffer occupancy is released when
+// service begins (see QueueDiscipline::dequeue); the wire itself holds the
+// packet in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/packet.h"
+#include "sim/queue_discipline.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class Link : public PacketSink {
+ public:
+  using DeliveryHandler = std::function<void(const Packet&, Time)>;
+
+  /// The link does not own the discipline; both must outlive the
+  /// simulation run.
+  Link(Simulator& sim, QueueDiscipline& queue, Rate rate);
+
+  /// Ingress: offers the packet to the discipline and kicks the
+  /// transmitter if it was idle.
+  void accept(const Packet& packet) override;
+
+  /// Invoked with every packet that finishes transmission and the time it
+  /// fully departed.
+  void set_delivery_handler(DeliveryHandler handler) { on_delivery_ = std::move(handler); }
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  void try_transmit();
+  void finish_transmission(const Packet& packet);
+
+  Simulator& sim_;
+  QueueDiscipline& queue_;
+  Rate rate_;
+  DeliveryHandler on_delivery_;
+  bool busy_{false};
+  std::int64_t bytes_delivered_{0};
+  std::uint64_t packets_delivered_{0};
+};
+
+}  // namespace bufq

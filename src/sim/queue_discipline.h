@@ -1,0 +1,41 @@
+// Interface between the output link and whatever queueing/admission logic
+// sits in front of it.  Implementations (FIFO, WFQ, hybrid) live in
+// src/sched; the buffer managers of src/core plug into them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class QueueDiscipline {
+ public:
+  using DropHandler = std::function<void(const Packet&, Time)>;
+
+  virtual ~QueueDiscipline() = default;
+
+  /// Attempts to admit a packet at time `now`.  Returns true if the packet
+  /// was queued; false if it was dropped (the drop handler, if set, has
+  /// already been invoked).
+  virtual bool enqueue(const Packet& packet, Time now) = 0;
+
+  /// Removes and returns the next packet to transmit, or nullopt when
+  /// empty.  `now` is the instant transmission begins; buffer occupancy is
+  /// released at this point (the packet in service no longer occupies
+  /// buffer space).
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+
+  /// Total bytes currently buffered (not counting a packet in service).
+  [[nodiscard]] virtual std::int64_t backlog_bytes() const = 0;
+
+  /// Installs a callback invoked for every packet the discipline refuses.
+  virtual void set_drop_handler(DropHandler handler) = 0;
+};
+
+}  // namespace bufq

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bufq {
+
+void Simulator::at(Time t, Action action) {
+  assert(t >= now_ && "cannot schedule in the past");
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::in(Time delay, Action action) {
+  assert(delay >= Time::zero());
+  at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (stopped_ || heap_.empty()) return false;
+  // priority_queue::top() is const; move the action out via a copy of the
+  // handle before popping.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+  stopped_ = false;
+}
+
+void Simulator::run_until(Time t) {
+  assert(t >= now_);
+  while (!stopped_ && !heap_.empty() && heap_.top().time <= t) {
+    step();
+  }
+  if (!stopped_) now_ = t;
+  stopped_ = false;
+}
+
+}  // namespace bufq

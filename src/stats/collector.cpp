@@ -1,0 +1,54 @@
+#include "stats/collector.h"
+
+#include <cassert>
+
+namespace bufq {
+
+StatsCollector::StatsCollector(std::size_t flow_count) : flows_(flow_count) {}
+
+void StatsCollector::on_offered(const Packet& packet) {
+  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
+  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  c.offered_bytes += packet.size_bytes;
+  ++c.offered_packets;
+}
+
+void StatsCollector::on_delivered(const Packet& packet, Time /*now*/) {
+  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
+  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  c.delivered_bytes += packet.size_bytes;
+  ++c.delivered_packets;
+}
+
+void StatsCollector::on_dropped(const Packet& packet, Time /*now*/) {
+  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
+  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  c.dropped_bytes += packet.size_bytes;
+  ++c.dropped_packets;
+}
+
+const FlowCounters& StatsCollector::flow(FlowId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < flows_.size());
+  return flows_[static_cast<std::size_t>(id)];
+}
+
+FlowCounters StatsCollector::total() const {
+  FlowCounters sum;
+  for (const auto& c : flows_) {
+    sum.offered_bytes += c.offered_bytes;
+    sum.delivered_bytes += c.delivered_bytes;
+    sum.dropped_bytes += c.dropped_bytes;
+    sum.offered_packets += c.offered_packets;
+    sum.delivered_packets += c.delivered_packets;
+    sum.dropped_packets += c.dropped_packets;
+  }
+  return sum;
+}
+
+Rate StatsCollector::throughput(const FlowCounters& delta, Time interval) {
+  assert(interval > Time::zero());
+  return Rate::bits_per_second(static_cast<double>(delta.delivered_bytes) * 8.0 /
+                               interval.to_seconds());
+}
+
+}  // namespace bufq

@@ -1,0 +1,82 @@
+#include "stats/delay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bufq {
+
+DelayRecorder::DelayRecorder(std::size_t flow_count) : flows_(flow_count) {}
+
+int DelayRecorder::bin_for(Time delay) {
+  const double us = std::max(static_cast<double>(delay.ns()) * 1e-3, 1.0);
+  const int bin = static_cast<int>(4.0 * std::log2(us));
+  return std::clamp(bin, 0, kBins - 1);
+}
+
+Time DelayRecorder::bin_edge(int bin) {
+  // Inverse of bin_for: upper edge of the bin, in microseconds.
+  const double us = std::exp2((bin + 1) / 4.0);
+  return Time::from_seconds(us * 1e-6);
+}
+
+void DelayRecorder::record(const Packet& packet, Time departure) {
+  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
+  assert(departure >= packet.created);
+  auto& f = flows_[static_cast<std::size_t>(packet.flow)];
+  const Time delay = departure - packet.created;
+  ++f.count;
+  f.sum_ns += delay.ns();
+  f.max = std::max(f.max, delay);
+  ++f.histogram[static_cast<std::size_t>(bin_for(delay))];
+}
+
+std::uint64_t DelayRecorder::count(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flows_.size());
+  return flows_[static_cast<std::size_t>(flow)].count;
+}
+
+Time DelayRecorder::mean_delay(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flows_.size());
+  const auto& f = flows_[static_cast<std::size_t>(flow)];
+  if (f.count == 0) return Time::zero();
+  return Time::nanoseconds(f.sum_ns / static_cast<std::int64_t>(f.count));
+}
+
+Time DelayRecorder::max_delay(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flows_.size());
+  return flows_[static_cast<std::size_t>(flow)].max;
+}
+
+Time DelayRecorder::quantile(FlowId flow, double q) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flows_.size());
+  assert(q >= 0.0 && q <= 1.0);
+  const auto& f = flows_[static_cast<std::size_t>(flow)];
+  if (f.count == 0) return Time::zero();
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(f.count - 1));
+  std::uint64_t seen = 0;
+  for (int bin = 0; bin < kBins; ++bin) {
+    seen += f.histogram[static_cast<std::size_t>(bin)];
+    if (seen > target) return bin_edge(bin);
+  }
+  return f.max;
+}
+
+Time DelayRecorder::mean_delay_all() const {
+  std::int64_t sum = 0;
+  std::uint64_t count = 0;
+  for (const auto& f : flows_) {
+    sum += f.sum_ns;
+    count += f.count;
+  }
+  if (count == 0) return Time::zero();
+  return Time::nanoseconds(sum / static_cast<std::int64_t>(count));
+}
+
+Time DelayRecorder::max_delay_all() const {
+  Time max = Time::zero();
+  for (const auto& f : flows_) max = std::max(max, f.max);
+  return max;
+}
+
+}  // namespace bufq

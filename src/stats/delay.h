@@ -1,0 +1,59 @@
+// Per-flow queueing-delay statistics.  The paper's Section 1 argues the
+// FIFO scheme trades tight per-flow delay bounds for simplicity: the only
+// bound is the shared B/R.  This recorder quantifies that trade-off so
+// the delay benches can compare FIFO, WFQ and hybrid side by side.
+//
+// Delay is measured from the packet's `created` stamp (when the — possibly
+// shaped — source released it) to the end of its transmission.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// Streaming delay accumulator: mean/max exactly, quantiles approximated
+/// from a fixed micro-second histogram (64 log-spaced bins covering
+/// 1 us .. ~1000 s), so memory stays O(1) per flow.
+class DelayRecorder {
+ public:
+  explicit DelayRecorder(std::size_t flow_count);
+
+  /// Records one delivered packet.  `departure` must be >= created.
+  void record(const Packet& packet, Time departure);
+
+  [[nodiscard]] std::uint64_t count(FlowId flow) const;
+  [[nodiscard]] Time mean_delay(FlowId flow) const;
+  [[nodiscard]] Time max_delay(FlowId flow) const;
+  /// Quantile in [0, 1]; resolution limited by the histogram bins
+  /// (~20% per bin boundary).  Returns zero when the flow is empty.
+  [[nodiscard]] Time quantile(FlowId flow, double q) const;
+
+  /// Aggregates across all flows.
+  [[nodiscard]] Time mean_delay_all() const;
+  [[nodiscard]] Time max_delay_all() const;
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  static constexpr int kBins = 64;
+  /// Bin index for a delay: log-spaced, bin = floor(4 * log2(us)).
+  static int bin_for(Time delay);
+  /// Representative (upper-edge) delay of a bin.
+  static Time bin_edge(int bin);
+
+  struct PerFlow {
+    std::uint64_t count{0};
+    std::int64_t sum_ns{0};
+    Time max{Time::zero()};
+    std::array<std::uint64_t, kBins> histogram{};
+  };
+
+  std::vector<PerFlow> flows_;
+};
+
+}  // namespace bufq

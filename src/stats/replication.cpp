@@ -1,0 +1,79 @@
+#include "stats/replication.h"
+
+#include <cassert>
+#include <cmath>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+
+namespace bufq {
+
+double Summary::relative_half_width() const {
+  return mean != 0.0 ? std::abs(half_width_95 / mean) : 0.0;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% quantiles of the t distribution; beyond the table the
+  // normal approximation is within 0.5%.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+  };
+  assert(df >= 1);
+  if (df <= std::size(kTable)) return kTable[df - 1];
+  return 1.960;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  assert(!samples.empty());
+  const auto n = samples.size();
+  const double mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                      static_cast<double>(n);
+  if (n == 1) return Summary{mean, 0.0, 1};
+  double ss = 0.0;
+  for (double x : samples) ss += (x - mean) * (x - mean);
+  const double stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  const double half = t_critical_95(n - 1) * stddev / std::sqrt(static_cast<double>(n));
+  return Summary{mean, half, n};
+}
+
+ReplicationRunner::ReplicationRunner(std::vector<std::uint64_t> seeds) : seeds_{std::move(seeds)} {
+  assert(!seeds_.empty());
+}
+
+ReplicationRunner::ReplicationRunner(std::uint64_t base_seed, std::size_t count) {
+  assert(count > 0);
+  seeds_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds_.push_back(base_seed + i);
+}
+
+std::map<std::string, Summary> ReplicationRunner::run(const Trial& trial,
+                                                      bool parallel) const {
+  std::vector<std::map<std::string, double>> per_seed(seeds_.size());
+  if (parallel && seeds_.size() > 1) {
+    std::vector<std::future<std::map<std::string, double>>> futures;
+    futures.reserve(seeds_.size());
+    for (std::uint64_t seed : seeds_) {
+      futures.push_back(std::async(std::launch::async, trial, seed));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) per_seed[i] = futures[i].get();
+  } else {
+    for (std::size_t i = 0; i < seeds_.size(); ++i) per_seed[i] = trial(seeds_[i]);
+  }
+
+  std::map<std::string, std::vector<double>> samples;
+  for (const auto& metrics : per_seed) {
+    for (const auto& [name, value] : metrics) samples[name].push_back(value);
+  }
+  std::map<std::string, Summary> result;
+  for (const auto& [name, values] : samples) {
+    if (values.size() != seeds_.size()) {
+      throw std::runtime_error("metric '" + name + "' missing from some replications");
+    }
+    result[name] = summarize(values);
+  }
+  return result;
+}
+
+}  // namespace bufq

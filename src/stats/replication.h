@@ -1,0 +1,56 @@
+// Replication and confidence intervals.  The paper averages 5 independent
+// simulation runs and reports 95% confidence intervals; this module
+// reproduces that methodology with Student-t half-widths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bufq {
+
+/// Mean and 95% confidence half-width of a sample.
+struct Summary {
+  double mean{0.0};
+  double half_width_95{0.0};
+  std::size_t n{0};
+
+  [[nodiscard]] double lower() const { return mean - half_width_95; }
+  [[nodiscard]] double upper() const { return mean + half_width_95; }
+  /// Half-width as a fraction of the mean (the paper quotes "within 2%").
+  [[nodiscard]] double relative_half_width() const;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+[[nodiscard]] double t_critical_95(std::size_t df);
+
+/// Sample mean / CI.  n == 1 yields a zero half-width.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Runs `trial` once per seed and summarizes each named metric across
+/// seeds.  A trial returns a map from metric name to value; all trials
+/// must return the same metric set.
+class ReplicationRunner {
+ public:
+  using Trial = std::function<std::map<std::string, double>(std::uint64_t seed)>;
+
+  explicit ReplicationRunner(std::vector<std::uint64_t> seeds);
+
+  /// Convenience: seeds base, base+1, ..., base+count-1.
+  ReplicationRunner(std::uint64_t base_seed, std::size_t count);
+
+  /// Trials run concurrently (they are independent simulations with no
+  /// shared state); results are summarized in seed order, so the output
+  /// is identical to a serial run.  Set parallel = false to debug.
+  [[nodiscard]] std::map<std::string, Summary> run(const Trial& trial,
+                                                   bool parallel = true) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& seeds() const { return seeds_; }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace bufq

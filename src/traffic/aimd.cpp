@@ -1,0 +1,47 @@
+#include "traffic/aimd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+AimdSource::AimdSource(Simulator& sim, PacketSink& sink, Params params)
+    : sim_{sim}, sink_{sink}, params_{params}, rate_{params.initial_rate} {
+  assert(params_.initial_rate.bps() > 0.0);
+  assert(params_.floor_rate.bps() > 0.0);
+  assert(params_.floor_rate <= params_.ceiling_rate);
+  assert(params_.multiplicative_decrease > 0.0 && params_.multiplicative_decrease < 1.0);
+  assert(params_.rtt > Time::zero());
+  assert(params_.packet_bytes > 0);
+  rate_ = std::clamp(rate_, params_.floor_rate, params_.ceiling_rate);
+}
+
+void AimdSource::start() {
+  assert(!started_);
+  started_ = true;
+  emit_packet();
+  sim_.in(params_.rtt, [this] { epoch(); });
+}
+
+void AimdSource::emit_packet() {
+  sink_.accept(Packet{.flow = params_.flow,
+                      .size_bytes = params_.packet_bytes,
+                      .seq = next_seq_++,
+                      .created = sim_.now()});
+  bytes_emitted_ += params_.packet_bytes;
+  ++packets_emitted_;
+  sim_.in(rate_.transmission_time(params_.packet_bytes), [this] { emit_packet(); });
+}
+
+void AimdSource::epoch() {
+  if (loss_in_epoch_) {
+    rate_ = std::max(rate_ * params_.multiplicative_decrease, params_.floor_rate);
+    ++decreases_;
+  } else {
+    rate_ = std::min(rate_ + params_.additive_increase, params_.ceiling_rate);
+  }
+  loss_in_epoch_ = false;
+  sim_.in(params_.rtt, [this] { epoch(); });
+}
+
+}  // namespace bufq

@@ -1,0 +1,34 @@
+// Passive conformance meter: forwards packets untouched while checking the
+// stream against a (sigma, rho) envelope.  Tests use it to prove the
+// shaper's output conforms and that unregulated sources violate their
+// declared profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "traffic/token_bucket.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class ConformanceMeter : public PacketSink {
+ public:
+  ConformanceMeter(Simulator& sim, PacketSink& downstream, ByteSize depth, Rate token_rate);
+
+  void accept(const Packet& packet) override;
+
+  [[nodiscard]] std::uint64_t packets_seen() const { return packets_seen_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] bool conformant() const { return violations_ == 0; }
+
+ private:
+  Simulator& sim_;
+  PacketSink& downstream_;
+  TokenBucket bucket_;
+  std::uint64_t packets_seen_{0};
+  std::uint64_t violations_{0};
+};
+
+}  // namespace bufq

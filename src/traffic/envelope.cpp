@@ -1,0 +1,57 @@
+#include "traffic/envelope.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+SigmaForRate::SigmaForRate(Rate rho) : rho_{rho} { assert(rho.bps() >= 0.0); }
+
+void SigmaForRate::arrive(std::int64_t bytes, Time t) {
+  assert(t >= last_);
+  drift_ -= rho_.bytes_per_second() * (t - last_).to_seconds();
+  last_ = t;
+  // The drift can only set a new minimum *before* the arrival adds mass.
+  min_drift_ = std::min(min_drift_, drift_);
+  drift_ += static_cast<double>(bytes);
+  max_climb_ = std::max(max_climb_, drift_ - min_drift_);
+}
+
+EnvelopeEstimator::EnvelopeEstimator(Simulator& sim, PacketSink& downstream, FlowId flow,
+                                     std::vector<Rate> candidate_rates)
+    : sim_{sim}, downstream_{downstream}, flow_{flow} {
+  assert(!candidate_rates.empty());
+  trackers_.reserve(candidate_rates.size());
+  for (Rate r : candidate_rates) trackers_.emplace_back(r);
+}
+
+void EnvelopeEstimator::accept(const Packet& packet) {
+  if (flow_ < 0 || packet.flow == flow_) {
+    for (auto& tracker : trackers_) tracker.arrive(packet.size_bytes, sim_.now());
+  }
+  downstream_.accept(packet);
+}
+
+double EnvelopeEstimator::min_sigma(std::size_t index) const {
+  assert(index < trackers_.size());
+  return trackers_[index].min_sigma();
+}
+
+Rate EnvelopeEstimator::rate_for_sigma_budget(ByteSize budget) const {
+  // Trackers may be in any order; scan for the smallest qualifying rate.
+  const SigmaForRate* best = nullptr;
+  for (const auto& t : trackers_) {
+    if (t.min_sigma() <= static_cast<double>(budget.count())) {
+      if (best == nullptr || t.rate() < best->rate()) best = &t;
+    }
+  }
+  if (best != nullptr) return best->rate();
+  // Nothing fits the budget: return the largest rate (closest miss).
+  const SigmaForRate* largest = &trackers_.front();
+  for (const auto& t : trackers_) {
+    if (t.rate() > largest->rate()) largest = &t;
+  }
+  return largest->rate();
+}
+
+}  // namespace bufq

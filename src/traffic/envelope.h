@@ -1,0 +1,70 @@
+// Empirical (sigma, rho) envelope estimation for an observed packet
+// stream.  Answers the operational question behind Section 2.2: what
+// leaky-bucket profile does this traffic actually need?  Used by tests to
+// cross-check the shaper and by operators to pick reservations.
+//
+// For a fixed candidate rate rho, the minimal bucket depth that makes the
+// stream conformant is
+//
+//     sigma*(rho) = max_t { A(t) - rho * t - min_{s<=t}(A(s) - rho * s) }
+//
+// i.e. the largest climb of the process A(t) - rho*t.  The estimator
+// tracks this online in O(1) per packet per candidate rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// Online minimal-sigma tracker for one candidate rate.
+class SigmaForRate {
+ public:
+  explicit SigmaForRate(Rate rho);
+
+  /// Registers `bytes` arriving at time `t` (non-decreasing).
+  void arrive(std::int64_t bytes, Time t);
+
+  /// Minimal bucket depth (bytes) making everything seen so far conform.
+  [[nodiscard]] double min_sigma() const { return max_climb_; }
+  [[nodiscard]] Rate rate() const { return rho_; }
+
+ private:
+  Rate rho_;
+  double drift_{0.0};      // A(t) - rho * t
+  double min_drift_{0.0};  // running minimum of the drift
+  double max_climb_{0.0};  // max(drift - min_drift)
+  Time last_{Time::zero()};
+};
+
+/// Pass-through sink estimating sigma*(rho) for a grid of candidate
+/// rates, per flow or aggregate (flow id -1 aggregates everything).
+class EnvelopeEstimator final : public PacketSink {
+ public:
+  /// Estimates for `flow` only (or every packet when flow == -1).
+  EnvelopeEstimator(Simulator& sim, PacketSink& downstream, FlowId flow,
+                    std::vector<Rate> candidate_rates);
+
+  void accept(const Packet& packet) override;
+
+  [[nodiscard]] const std::vector<SigmaForRate>& estimates() const { return trackers_; }
+
+  /// sigma*(rho) for candidate index i.
+  [[nodiscard]] double min_sigma(std::size_t index) const;
+
+  /// Smallest candidate rate whose sigma* does not exceed `budget`;
+  /// returns the largest rate if none qualifies.
+  [[nodiscard]] Rate rate_for_sigma_budget(ByteSize budget) const;
+
+ private:
+  Simulator& sim_;
+  PacketSink& downstream_;
+  FlowId flow_;
+  std::vector<SigmaForRate> trackers_;
+};
+
+}  // namespace bufq

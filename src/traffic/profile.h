@@ -1,0 +1,26 @@
+// A flow's declared traffic profile and reservation, matching the columns
+// of Tables 1 and 2 of the paper: peak rate, average rate, token-bucket
+// depth (sigma) and token rate (rho, the reserved/guaranteed rate).
+#pragma once
+
+#include "util/units.h"
+
+namespace bufq {
+
+struct TrafficProfile {
+  Rate peak_rate;
+  Rate avg_rate;
+  /// Leaky-bucket depth sigma.
+  ByteSize bucket;
+  /// Token rate rho == the rate the network guarantees the flow.
+  Rate token_rate;
+  /// Mean burst emitted by the ON-OFF source.  For conformant flows this
+  /// equals `bucket`; the paper's aggressive flows emit bursts several
+  /// times their declared bucket.
+  ByteSize mean_burst;
+  /// True when the flow's traffic is reshaped by a leaky bucket with
+  /// (bucket, token_rate) before entering the network.
+  bool regulated{false};
+};
+
+}  // namespace bufq

@@ -1,0 +1,60 @@
+#include "traffic/shaper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+LeakyBucketShaper::LeakyBucketShaper(Simulator& sim, PacketSink& downstream, ByteSize depth,
+                                     Rate token_rate, Rate peak_rate)
+    : sim_{sim}, downstream_{downstream}, bucket_{depth, token_rate}, peak_rate_{peak_rate} {
+  assert(token_rate.bps() > 0.0);
+}
+
+void LeakyBucketShaper::accept(const Packet& packet) {
+  assert(packet.size_bytes <= bucket_.depth().count() &&
+         "packet larger than bucket depth can never be released");
+  queue_.push_back(packet);
+  queued_bytes_ += packet.size_bytes;
+  release_ready();
+}
+
+void LeakyBucketShaper::release_ready() {
+  const Time now = sim_.now();
+  while (!queue_.empty()) {
+    const Packet& head = queue_.front();
+    if (now < earliest_next_release_ || !bucket_.conforms(head.size_bytes, now)) break;
+    bucket_.consume(head.size_bytes, now);
+    if (peak_rate_.bps() > 0.0) {
+      earliest_next_release_ = now + peak_rate_.transmission_time(head.size_bytes);
+    }
+    Packet released = head;
+    queue_.pop_front();
+    queued_bytes_ -= released.size_bytes;
+    bytes_forwarded_ += released.size_bytes;
+    // Stamp the release time: conformance is a property of the shaped
+    // stream, so downstream consumers see the shaped arrival time.
+    released.created = now;
+    downstream_.accept(released);
+  }
+  if (!queue_.empty()) schedule_release();
+}
+
+void LeakyBucketShaper::schedule_release() {
+  if (release_pending_) return;
+  const Time now = sim_.now();
+  Time wait = bucket_.time_until_conformant(queue_.front().size_bytes, now);
+  if (earliest_next_release_ > now) {
+    wait = std::max(wait, earliest_next_release_ - now);
+  }
+  // Guard against a zero wait produced by floating-point refill rounding:
+  // always move at least 1ns so the event makes progress.
+  wait = std::max(wait, Time::nanoseconds(1));
+  release_pending_ = true;
+  sim_.in(wait, [this] {
+    release_pending_ = false;
+    release_ready();
+  });
+}
+
+}  // namespace bufq

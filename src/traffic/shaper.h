@@ -1,0 +1,50 @@
+// Leaky-bucket shaper: delays packets so the stream leaving it is
+// (sigma, rho) conformant.  This is how the paper makes flows 0-5 of
+// Table 1 "conformant": their ON-OFF output is reshaped by a leaky bucket
+// with their declared profile before entering the multiplexer.
+//
+// The shaping queue is unbounded (the regulator sits at the source, where
+// the paper assumes sufficient shaping buffer); tests assert its occupancy
+// stays moderate for the workloads we run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "traffic/token_bucket.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class LeakyBucketShaper : public PacketSink {
+ public:
+  /// Packets leaving the shaper conform to (depth, token_rate); if
+  /// `peak_rate` is non-zero they are additionally spaced no closer than
+  /// back-to-back at that rate.
+  LeakyBucketShaper(Simulator& sim, PacketSink& downstream, ByteSize depth, Rate token_rate,
+                    Rate peak_rate = Rate::zero());
+
+  void accept(const Packet& packet) override;
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::int64_t bytes_forwarded() const { return bytes_forwarded_; }
+
+ private:
+  void release_ready();
+  void schedule_release();
+
+  Simulator& sim_;
+  PacketSink& downstream_;
+  TokenBucket bucket_;
+  Rate peak_rate_;
+  Time earliest_next_release_{Time::zero()};
+  std::deque<Packet> queue_;
+  std::int64_t queued_bytes_{0};
+  std::int64_t bytes_forwarded_{0};
+  bool release_pending_{false};
+};
+
+}  // namespace bufq

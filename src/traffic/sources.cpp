@@ -1,0 +1,165 @@
+#include "traffic/sources.h"
+
+#include <cassert>
+
+namespace bufq {
+
+// ---------------------------------------------------------------- ON-OFF
+
+MarkovOnOffSource::MarkovOnOffSource(Simulator& sim, PacketSink& sink, Params params, Rng rng)
+    : sim_{sim}, sink_{sink}, params_{params}, rng_{rng} {
+  assert(params_.peak_rate.bps() > 0.0);
+  assert(params_.mean_on > Time::zero());
+  assert(params_.mean_off > Time::zero());
+  assert(params_.packet_bytes > 0);
+  packet_gap_ = params_.peak_rate.transmission_time(params_.packet_bytes);
+}
+
+MarkovOnOffSource::Params MarkovOnOffSource::params_from_profile(FlowId flow,
+                                                                 const TrafficProfile& profile,
+                                                                 std::int64_t packet_bytes) {
+  assert(profile.avg_rate.bps() > 0.0);
+  assert(profile.avg_rate < profile.peak_rate && "an ON-OFF source needs avg < peak");
+  const double mean_on_s = profile.mean_burst.bits() / profile.peak_rate.bps();
+  const double duty = profile.avg_rate / profile.peak_rate;
+  const double mean_off_s = mean_on_s * (1.0 - duty) / duty;
+  return Params{
+      .flow = flow,
+      .peak_rate = profile.peak_rate,
+      .mean_on = Time::from_seconds(mean_on_s),
+      .mean_off = Time::from_seconds(mean_off_s),
+      .packet_bytes = packet_bytes,
+  };
+}
+
+void MarkovOnOffSource::start() {
+  assert(!started_);
+  started_ = true;
+  // Start in the OFF state with a fresh holding time; the first burst
+  // begins after an exponential delay, so sources with distinct streams
+  // desynchronize immediately.
+  sim_.in(rng_.exponential_time(params_.mean_off), [this] { begin_on_period(); });
+}
+
+void MarkovOnOffSource::begin_on_period() {
+  Time on_length = Time::zero();
+  switch (params_.on_distribution) {
+    case BurstDistribution::kExponential:
+      on_length = rng_.exponential_time(params_.mean_on);
+      break;
+    case BurstDistribution::kPareto:
+      on_length = rng_.pareto_time(params_.mean_on, params_.pareto_shape);
+      break;
+    case BurstDistribution::kDeterministic:
+      on_length = params_.mean_on;
+      break;
+  }
+  on_ends_ = sim_.now() + on_length;
+  emit_packet();
+}
+
+void MarkovOnOffSource::emit_packet() {
+  // The ON period covers whole packets: we emit as long as the next packet
+  // would still start inside the period, then fall silent.
+  if (sim_.now() >= on_ends_) {
+    sim_.in(rng_.exponential_time(params_.mean_off), [this] { begin_on_period(); });
+    return;
+  }
+  sink_.accept(Packet{.flow = params_.flow,
+                      .size_bytes = params_.packet_bytes,
+                      .seq = next_seq_++,
+                      .created = sim_.now()});
+  bytes_emitted_ += params_.packet_bytes;
+  ++packets_emitted_;
+  sim_.in(packet_gap_, [this] { emit_packet(); });
+}
+
+// ------------------------------------------------------------------- CBR
+
+CbrSource::CbrSource(Simulator& sim, PacketSink& sink, FlowId flow, Rate rate,
+                     std::int64_t packet_bytes)
+    : sim_{sim},
+      sink_{sink},
+      flow_{flow},
+      interval_{rate.transmission_time(packet_bytes)},
+      packet_bytes_{packet_bytes} {
+  assert(rate.bps() > 0.0);
+  assert(packet_bytes > 0);
+}
+
+void CbrSource::start() {
+  assert(!started_);
+  started_ = true;
+  emit_packet();
+}
+
+void CbrSource::emit_packet() {
+  sink_.accept(Packet{.flow = flow_,
+                      .size_bytes = packet_bytes_,
+                      .seq = next_seq_++,
+                      .created = sim_.now()});
+  bytes_emitted_ += packet_bytes_;
+  ++packets_emitted_;
+  sim_.in(interval_, [this] { emit_packet(); });
+}
+
+// --------------------------------------------------------------- Poisson
+
+PoissonSource::PoissonSource(Simulator& sim, PacketSink& sink, FlowId flow, Rate mean_rate,
+                             std::int64_t packet_bytes, Rng rng)
+    : sim_{sim},
+      sink_{sink},
+      flow_{flow},
+      mean_gap_{mean_rate.transmission_time(packet_bytes)},
+      packet_bytes_{packet_bytes},
+      rng_{rng} {
+  assert(mean_rate.bps() > 0.0);
+  assert(packet_bytes > 0);
+}
+
+void PoissonSource::start() {
+  assert(!started_);
+  started_ = true;
+  sim_.in(rng_.exponential_time(mean_gap_), [this] { emit_packet(); });
+}
+
+void PoissonSource::emit_packet() {
+  sink_.accept(Packet{.flow = flow_,
+                      .size_bytes = packet_bytes_,
+                      .seq = next_seq_++,
+                      .created = sim_.now()});
+  bytes_emitted_ += packet_bytes_;
+  ++packets_emitted_;
+  sim_.in(rng_.exponential_time(mean_gap_), [this] { emit_packet(); });
+}
+
+// ---------------------------------------------------------------- Greedy
+
+GreedySource::GreedySource(Simulator& sim, PacketSink& sink, FlowId flow, Rate rate,
+                           std::int64_t packet_bytes)
+    : sim_{sim},
+      sink_{sink},
+      flow_{flow},
+      interval_{rate.transmission_time(packet_bytes)},
+      packet_bytes_{packet_bytes} {
+  assert(rate.bps() > 0.0);
+  assert(packet_bytes > 0);
+}
+
+void GreedySource::start() {
+  assert(!started_);
+  started_ = true;
+  emit_packet();
+}
+
+void GreedySource::emit_packet() {
+  sink_.accept(Packet{.flow = flow_,
+                      .size_bytes = packet_bytes_,
+                      .seq = next_seq_++,
+                      .created = sim_.now()});
+  bytes_emitted_ += packet_bytes_;
+  ++packets_emitted_;
+  sim_.in(interval_, [this] { emit_packet(); });
+}
+
+}  // namespace bufq

@@ -1,0 +1,164 @@
+// Traffic sources.  Every source is started explicitly, schedules its own
+// events on the simulator, and pushes packets into a PacketSink (a shaper,
+// a stats tap, or a link ingress directly).
+//
+// The workhorse is the Markov-modulated ON-OFF source the paper simulates:
+// exponential ON and OFF holding times; while ON it emits maximum-size
+// packets back-to-back at its peak rate.  The mean burst (bytes emitted
+// per ON period) and mean rate determine the two holding-time means:
+//
+//   mean_on  = mean_burst * 8 / peak_rate
+//   duty     = avg_rate / peak_rate
+//   mean_off = mean_on * (1 - duty) / duty
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "traffic/profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace bufq {
+
+class Source {
+ public:
+  virtual ~Source() = default;
+  /// Begins emitting.  Must be called at most once.
+  virtual void start() = 0;
+
+  [[nodiscard]] virtual std::int64_t bytes_emitted() const = 0;
+  [[nodiscard]] virtual std::uint64_t packets_emitted() const = 0;
+};
+
+/// How ON-period lengths (burst sizes) are drawn.
+enum class BurstDistribution {
+  kExponential,  ///< the paper's Markov-modulated model
+  kPareto,       ///< heavy-tailed bursts, for robustness experiments
+  kDeterministic ///< fixed-length bursts
+};
+
+/// Markov-modulated ON-OFF source (Section 3.2 of the paper).  OFF
+/// periods are always exponential; the ON-period law is configurable.
+class MarkovOnOffSource : public Source {
+ public:
+  struct Params {
+    FlowId flow{0};
+    Rate peak_rate;
+    Time mean_on;
+    Time mean_off;
+    std::int64_t packet_bytes{500};
+    BurstDistribution on_distribution{BurstDistribution::kExponential};
+    /// Tail index for kPareto (must be > 1; smaller = heavier tail).
+    double pareto_shape{1.5};
+  };
+
+  MarkovOnOffSource(Simulator& sim, PacketSink& sink, Params params, Rng rng);
+
+  /// Builds the source from a Table-1-style profile (peak rate, average
+  /// rate, mean burst size).
+  static Params params_from_profile(FlowId flow, const TrafficProfile& profile,
+                                    std::int64_t packet_bytes = 500);
+
+  void start() override;
+
+  [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+
+ private:
+  void begin_on_period();
+  void emit_packet();
+
+  Simulator& sim_;
+  PacketSink& sink_;
+  Params params_;
+  Rng rng_;
+  Time on_ends_{Time::zero()};
+  Time packet_gap_{Time::zero()};
+  std::uint64_t next_seq_{0};
+  std::int64_t bytes_emitted_{0};
+  std::uint64_t packets_emitted_{0};
+  bool started_{false};
+};
+
+/// Constant bit rate source: fixed-size packets at exact intervals.
+class CbrSource : public Source {
+ public:
+  CbrSource(Simulator& sim, PacketSink& sink, FlowId flow, Rate rate,
+            std::int64_t packet_bytes = 500);
+
+  void start() override;
+
+  [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+
+ private:
+  void emit_packet();
+
+  Simulator& sim_;
+  PacketSink& sink_;
+  FlowId flow_;
+  Time interval_;
+  std::int64_t packet_bytes_;
+  std::uint64_t next_seq_{0};
+  std::int64_t bytes_emitted_{0};
+  std::uint64_t packets_emitted_{0};
+  bool started_{false};
+};
+
+/// Poisson packet arrivals at a given mean rate; used by robustness tests.
+class PoissonSource : public Source {
+ public:
+  PoissonSource(Simulator& sim, PacketSink& sink, FlowId flow, Rate mean_rate,
+                std::int64_t packet_bytes, Rng rng);
+
+  void start() override;
+
+  [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+
+ private:
+  void emit_packet();
+
+  Simulator& sim_;
+  PacketSink& sink_;
+  FlowId flow_;
+  Time mean_gap_;
+  std::int64_t packet_bytes_;
+  Rng rng_;
+  std::uint64_t next_seq_{0};
+  std::int64_t bytes_emitted_{0};
+  std::uint64_t packets_emitted_{0};
+  bool started_{false};
+};
+
+/// Adversarial source: emits back-to-back packets at a fixed (typically
+/// far-above-link) rate forever.  With buffer management in place its
+/// backlog pins at its threshold, reproducing the greedy flow of
+/// Example 1.
+class GreedySource : public Source {
+ public:
+  GreedySource(Simulator& sim, PacketSink& sink, FlowId flow, Rate rate,
+               std::int64_t packet_bytes = 500);
+
+  void start() override;
+
+  [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+
+ private:
+  void emit_packet();
+
+  Simulator& sim_;
+  PacketSink& sink_;
+  FlowId flow_;
+  Time interval_;
+  std::int64_t packet_bytes_;
+  std::uint64_t next_seq_{0};
+  std::int64_t bytes_emitted_{0};
+  std::uint64_t packets_emitted_{0};
+  bool started_{false};
+};
+
+}  // namespace bufq

@@ -1,0 +1,47 @@
+#include "traffic/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bufq {
+
+TokenBucket::TokenBucket(ByteSize depth, Rate token_rate)
+    : depth_{depth}, rate_{token_rate}, tokens_{static_cast<double>(depth.count())} {
+  assert(depth.count() >= 0);
+  assert(token_rate.bps() >= 0.0);
+}
+
+void TokenBucket::refill(Time now) const {
+  assert(now >= last_update_);
+  const double added = rate_.bytes_per_second() * (now - last_update_).to_seconds();
+  tokens_ = std::min(tokens_ + added, static_cast<double>(depth_.count()));
+  last_update_ = now;
+}
+
+double TokenBucket::tokens_at(Time now) const {
+  refill(now);
+  return tokens_;
+}
+
+bool TokenBucket::conforms(std::int64_t bytes, Time now) const {
+  // A tiny epsilon absorbs the float rounding of refill arithmetic so that
+  // a packet released exactly when its tokens accrue is accepted.
+  return tokens_at(now) + 1e-6 >= static_cast<double>(bytes);
+}
+
+void TokenBucket::consume(std::int64_t bytes, Time now) {
+  refill(now);
+  tokens_ -= static_cast<double>(bytes);
+}
+
+Time TokenBucket::time_until_conformant(std::int64_t bytes, Time now) const {
+  refill(now);
+  const double deficit = static_cast<double>(bytes) - tokens_;
+  if (deficit <= 0.0) return Time::zero();
+  assert(rate_.bps() > 0.0 && "a zero-rate bucket never refills");
+  assert(bytes <= depth_.count() && "request larger than bucket depth can never conform");
+  return Time::from_seconds(deficit / rate_.bytes_per_second());
+}
+
+}  // namespace bufq

@@ -1,0 +1,46 @@
+// Continuous-time token bucket: depth sigma bytes, fill rate rho.
+// This is the (sigma, rho) regulator of Section 2.2 of the paper; it backs
+// both the shaper (delays packets until they conform) and the conformance
+// meter (checks a stream without altering it).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace bufq {
+
+class TokenBucket {
+ public:
+  /// Starts full (sigma tokens), matching the paper's burst-potential
+  /// process sigma(0) = sigma.
+  TokenBucket(ByteSize depth, Rate token_rate);
+
+  /// Token count after refilling up to `now`.  Bounded above by depth.
+  [[nodiscard]] double tokens_at(Time now) const;
+
+  /// True when `bytes` tokens are available at `now`.
+  [[nodiscard]] bool conforms(std::int64_t bytes, Time now) const;
+
+  /// Removes `bytes` tokens at `now`.  Tokens may go negative if the
+  /// caller chooses to overdraw (the conformance meter never does; the
+  /// shaper never needs to).
+  void consume(std::int64_t bytes, Time now);
+
+  /// Earliest time >= `now` at which `bytes` tokens will be available.
+  /// With bytes > depth this is never; the caller must not ask.
+  [[nodiscard]] Time time_until_conformant(std::int64_t bytes, Time now) const;
+
+  [[nodiscard]] ByteSize depth() const { return depth_; }
+  [[nodiscard]] Rate rate() const { return rate_; }
+
+ private:
+  void refill(Time now) const;
+
+  ByteSize depth_;
+  Rate rate_;
+  mutable double tokens_;
+  mutable Time last_update_{Time::zero()};
+};
+
+}  // namespace bufq

@@ -1,0 +1,80 @@
+#include "traffic/trace.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bufq {
+
+std::vector<TraceEntry> read_trace(std::istream& in) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::int64_t ns = 0;
+    std::int64_t flow = 0;
+    std::int64_t size = 0;
+    if (!(fields >> ns >> flow >> size) || size <= 0 || flow < 0) {
+      throw std::runtime_error("malformed trace line " + std::to_string(line_number) +
+                               ": '" + line + "'");
+    }
+    const Time at = Time::nanoseconds(ns);
+    if (!entries.empty() && at < entries.back().at) {
+      throw std::runtime_error("trace timestamps decrease at line " +
+                               std::to_string(line_number));
+    }
+    entries.push_back(TraceEntry{at, static_cast<FlowId>(flow), size});
+  }
+  return entries;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << "# bufferq packet trace: <time_ns> <flow> <size_bytes>\n";
+  for (const auto& e : entries) {
+    out << e.at.ns() << ' ' << e.flow << ' ' << e.size_bytes << '\n';
+  }
+}
+
+TraceSource::TraceSource(Simulator& sim, PacketSink& sink, std::vector<TraceEntry> entries)
+    : sim_{sim}, sink_{sink}, entries_{std::move(entries)} {
+  FlowId max_flow = -1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    assert(entries_[i].size_bytes > 0);
+    assert(entries_[i].flow >= 0);
+    assert(i == 0 || entries_[i].at >= entries_[i - 1].at);
+    max_flow = std::max(max_flow, entries_[i].flow);
+  }
+  per_flow_seq_.assign(static_cast<std::size_t>(max_flow) + 1, 0);
+}
+
+void TraceSource::start() {
+  assert(!started_);
+  started_ = true;
+  if (entries_.empty()) return;
+  assert(entries_.front().at >= sim_.now());
+  sim_.at(entries_.front().at, [this] { emit_next(); });
+}
+
+void TraceSource::emit_next() {
+  // Emit every entry due now, then schedule the next distinct timestamp.
+  while (next_ < entries_.size() && entries_[next_].at <= sim_.now()) {
+    const auto& e = entries_[next_];
+    sink_.accept(Packet{.flow = e.flow,
+                        .size_bytes = e.size_bytes,
+                        .seq = per_flow_seq_[static_cast<std::size_t>(e.flow)]++,
+                        .created = sim_.now()});
+    bytes_emitted_ += e.size_bytes;
+    ++packets_emitted_;
+    ++next_;
+  }
+  if (next_ < entries_.size()) {
+    sim_.at(entries_[next_].at, [this] { emit_next(); });
+  }
+}
+
+}  // namespace bufq

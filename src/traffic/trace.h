@@ -1,0 +1,81 @@
+// Packet-trace record and replay.  Lets users capture a workload (e.g.
+// the exact shaped arrival process of a Table 1 run) and feed it back
+// deterministically, or drive the simulator from externally produced
+// traces.
+//
+// On-disk format: one packet per line, `<time_ns> <flow> <size_bytes>`,
+// '#'-prefixed comment lines allowed, timestamps non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+#include "util/units.h"
+
+namespace bufq {
+
+struct TraceEntry {
+  Time at;
+  FlowId flow;
+  std::int64_t size_bytes;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// Parses a trace stream.  Throws std::runtime_error on malformed lines
+/// or decreasing timestamps.
+[[nodiscard]] std::vector<TraceEntry> read_trace(std::istream& in);
+
+/// Writes entries in the canonical format.
+void write_trace(std::ostream& out, const std::vector<TraceEntry>& entries);
+
+/// Replays a trace into a sink at the recorded times.  Entries must be
+/// time-ordered and not earlier than the simulator's clock at start().
+class TraceSource final : public Source {
+ public:
+  TraceSource(Simulator& sim, PacketSink& sink, std::vector<TraceEntry> entries);
+
+  void start() override;
+
+  [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+  [[nodiscard]] std::size_t remaining() const { return entries_.size() - next_; }
+
+ private:
+  void emit_next();
+
+  Simulator& sim_;
+  PacketSink& sink_;
+  std::vector<TraceEntry> entries_;
+  std::size_t next_{0};
+  std::vector<std::uint64_t> per_flow_seq_;
+  std::int64_t bytes_emitted_{0};
+  std::uint64_t packets_emitted_{0};
+  bool started_{false};
+};
+
+/// Pass-through sink that records everything it forwards.
+class TraceRecorder final : public PacketSink {
+ public:
+  TraceRecorder(Simulator& sim, PacketSink& downstream)
+      : sim_{sim}, downstream_{downstream} {}
+
+  void accept(const Packet& packet) override {
+    entries_.push_back(TraceEntry{sim_.now(), packet.flow, packet.size_bytes});
+    downstream_.accept(packet);
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+
+ private:
+  Simulator& sim_;
+  PacketSink& downstream_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace bufq

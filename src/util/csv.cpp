@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+namespace bufq {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_{out}, columns_{header.size()} {
+  assert(columns_ > 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_double(v));
+  row(formatted);
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_{std::move(header)} {
+  assert(!header_.empty());
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::row(std::initializer_list<double> cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_double(v));
+  row(std::move(formatted));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      out << std::setw(static_cast<int>(width[i])) << r[i];
+      out << (i + 1 == r.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace bufq

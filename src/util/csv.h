@@ -1,0 +1,55 @@
+// Small CSV / aligned-table writers used by the benchmark harness to emit
+// the series behind each figure of the paper.  No external dependencies;
+// values are formatted with enough digits to round-trip.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bufq {
+
+/// Streams rows of comma-separated values.  The header is written on
+/// construction; every row must have the same arity as the header.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload: doubles are formatted with %.6g.
+  void row(std::initializer_list<double> cells);
+
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_{0};
+};
+
+/// Collects rows and renders them as an aligned text table, the format the
+/// bench binaries use for human-readable summaries.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void row(std::initializer_list<double> cells);
+
+  /// Renders with columns padded to the widest cell.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double the way the tables/CSVs do ("%.6g").
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace bufq

@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bufq {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_{seed} {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  assert(n > 0);
+  const std::uint64_t threshold = -n % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  // 1 - uniform() lies in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+Time Rng::exponential_time(Time mean) {
+  return Time::from_seconds(exponential(mean.to_seconds()));
+}
+
+double Rng::pareto(double mean, double shape) {
+  assert(mean > 0.0);
+  assert(shape > 1.0 && "a Pareto mean only exists for shape > 1");
+  // Scale x_m chosen so E[X] = x_m * shape / (shape - 1) equals `mean`.
+  const double x_m = mean * (shape - 1.0) / shape;
+  // Inverse transform; 1 - uniform() is in (0, 1].
+  return x_m / std::pow(1.0 - uniform(), 1.0 / shape);
+}
+
+Time Rng::pareto_time(Time mean, double shape) {
+  return Time::from_seconds(pareto(mean.to_seconds(), shape));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the original seed with the stream id through splitmix64 so forked
+  // streams are decorrelated even for adjacent ids.
+  std::uint64_t x = seed_ ^ (0xA0761D6478BD642Full * (stream + 1));
+  return Rng{splitmix64(x)};
+}
+
+}  // namespace bufq

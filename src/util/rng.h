@@ -1,0 +1,62 @@
+// Deterministic random number generation for simulations.
+//
+// We carry our own xoshiro256++ engine rather than <random> engines so the
+// stream is bit-identical across standard libraries, and our own
+// distribution transforms so results do not depend on libstdc++/libc++
+// implementation details.  Reproducibility across platforms is a hard
+// requirement for the replication runner (same seed => same trajectory).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace bufq {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64 so that any 64-bit seed yields a well-mixed
+/// state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Uses rejection sampling
+  /// to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Exponentially distributed value with the given mean (inverse
+  /// transform).  Requires mean > 0.
+  double exponential(double mean);
+
+  /// Exponentially distributed duration with the given mean.
+  Time exponential_time(Time mean);
+
+  /// Pareto-distributed value with the given mean and tail index `shape`
+  /// (> 1 so the mean exists; smaller shape = heavier tail).  Used for
+  /// heavy-tailed ON periods in robustness experiments.
+  double pareto(double mean, double shape);
+  Time pareto_time(Time mean, double shape);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Derives an unrelated stream; stream i of seed s differs from stream j
+  /// for i != j.  Used to give every traffic source its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_{};
+};
+
+}  // namespace bufq

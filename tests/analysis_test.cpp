@@ -1,0 +1,159 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace bufq {
+namespace {
+
+const Rate kLink = Rate::megabits_per_second(48.0);
+
+TEST(AnalysisTest, Prop1ThresholdIsRateProportionalBufferShare) {
+  // B = 1 MB, rho = 12 Mb/s on 48 Mb/s: threshold = B/4.
+  EXPECT_DOUBLE_EQ(
+      prop1_threshold_bytes(ByteSize::megabytes(1.0), Rate::megabits_per_second(12.0), kLink),
+      250'000.0);
+}
+
+TEST(AnalysisTest, Prop2AddsBurstAllowance) {
+  const FlowSpec flow{Rate::megabits_per_second(12.0), ByteSize::kilobytes(50.0)};
+  EXPECT_DOUBLE_EQ(prop2_threshold_bytes(ByteSize::megabytes(1.0), flow, kLink), 300'000.0);
+}
+
+TEST(AnalysisTest, WfqMinBufferIsSumOfBursts) {
+  const std::vector<FlowSpec> flows{
+      {Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)},
+      {Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)},
+      {Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)},
+  };
+  EXPECT_DOUBLE_EQ(wfq_min_buffer_bytes(flows), 200'000.0);
+}
+
+TEST(AnalysisTest, FifoMinBufferMatchesEquation9) {
+  // sum rho = 24 Mb/s (u = 0.5), sum sigma = 100 KB:
+  // B = 48 * 100K / 24 = 200 KB.
+  const std::vector<FlowSpec> flows{
+      {Rate::megabits_per_second(12.0), ByteSize::kilobytes(50.0)},
+      {Rate::megabits_per_second(12.0), ByteSize::kilobytes(50.0)},
+  };
+  const auto b = fifo_min_buffer_bytes(flows, kLink);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(*b, 200'000.0);
+}
+
+TEST(AnalysisTest, FifoMinBufferUnboundedAtFullReservation) {
+  const std::vector<FlowSpec> flows{
+      {Rate::megabits_per_second(48.0), ByteSize::kilobytes(50.0)},
+  };
+  EXPECT_FALSE(fifo_min_buffer_bytes(flows, kLink).has_value());
+}
+
+TEST(AnalysisTest, Equation10FormMatchesEquation9Form) {
+  const std::vector<FlowSpec> flows{
+      {Rate::megabits_per_second(12.0), ByteSize::kilobytes(30.0)},
+      {Rate::megabits_per_second(20.0), ByteSize::kilobytes(70.0)},
+  };
+  const double u = (12.0 + 20.0) / 48.0;
+  const auto via_eq9 = fifo_min_buffer_bytes(flows, kLink);
+  const double via_eq10 = fifo_min_buffer_bytes(u, ByteSize::kilobytes(100.0));
+  ASSERT_TRUE(via_eq9.has_value());
+  EXPECT_NEAR(*via_eq9, via_eq10, 1e-6);
+}
+
+TEST(AnalysisTest, InflationFactorDivergesTowardFullUtilization) {
+  EXPECT_DOUBLE_EQ(fifo_buffer_inflation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fifo_buffer_inflation(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(fifo_buffer_inflation(0.9), 10.0);
+  EXPECT_NEAR(fifo_buffer_inflation(0.99), 100.0, 1e-9);
+}
+
+TEST(AnalysisTest, FifoAlwaysNeedsAtLeastWfqBuffer) {
+  // Property sweep: for any mix, eq. 9 >= eq. 6.
+  for (double u10 = 1; u10 <= 9; ++u10) {
+    const double rate_mbps = 48.0 * u10 / 10.0;
+    const std::vector<FlowSpec> flows{
+        {Rate::megabits_per_second(rate_mbps / 2), ByteSize::kilobytes(40.0)},
+        {Rate::megabits_per_second(rate_mbps / 2), ByteSize::kilobytes(60.0)},
+    };
+    const auto fifo = fifo_min_buffer_bytes(flows, kLink);
+    ASSERT_TRUE(fifo.has_value());
+    EXPECT_GE(*fifo, wfq_min_buffer_bytes(flows));
+  }
+}
+
+// --------------------------------------------------------- admission
+
+TEST(AdmissionTest, WfqAcceptsWhileBothConstraintsHold) {
+  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
+                         ByteSize::kilobytes(200.0)};
+  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(50.0)};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  // Fifth flow: 250 KB of bursts > 200 KB buffer.
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+  EXPECT_EQ(ac.admitted_count(), 4u);
+}
+
+TEST(AdmissionTest, WfqBandwidthLimit) {
+  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
+                         ByteSize::megabytes(100.0)};
+  const FlowSpec flow{Rate::megabits_per_second(20.0), ByteSize::kilobytes(10.0)};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBandwidthLimited);
+}
+
+TEST(AdmissionTest, FifoIsBufferLimitedBeforeWfqIs) {
+  // Same buffer: the FIFO controller must refuse a set WFQ accepts, once
+  // utilization inflates its requirement.
+  const auto buffer = ByteSize::kilobytes(200.0);
+  AdmissionController wfq{AdmissionController::Discipline::kWfq, kLink, buffer};
+  AdmissionController fifo{AdmissionController::Discipline::kFifoThresholds, kLink, buffer};
+  const FlowSpec flow{Rate::megabits_per_second(10.0), ByteSize::kilobytes(40.0)};
+  int wfq_admitted = 0;
+  int fifo_admitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (wfq.try_admit(flow) == AdmissionVerdict::kAccepted) ++wfq_admitted;
+    if (fifo.try_admit(flow) == AdmissionVerdict::kAccepted) ++fifo_admitted;
+  }
+  EXPECT_EQ(wfq_admitted, 4);  // 160 KB of bursts fits
+  // FIFO: after 3 flows u = 30/48, B needed = 120K * 48/18 = 320K > 200K.
+  EXPECT_EQ(fifo_admitted, 2);
+}
+
+TEST(AdmissionTest, FifoFullReservationNeedsNoBufferIfNoBursts) {
+  AdmissionController ac{AdmissionController::Discipline::kFifoThresholds, kLink,
+                         ByteSize::kilobytes(1.0)};
+  const FlowSpec flow{Rate::megabits_per_second(48.0), ByteSize::zero()};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+}
+
+TEST(AdmissionTest, FifoFullReservationWithBurstsIsBufferLimited) {
+  AdmissionController ac{AdmissionController::Discipline::kFifoThresholds, kLink,
+                         ByteSize::megabytes(100.0)};
+  const FlowSpec flow{Rate::megabits_per_second(48.0), ByteSize::bytes(1)};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+}
+
+TEST(AdmissionTest, ReleaseRestoresCapacity) {
+  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
+                         ByteSize::kilobytes(100.0)};
+  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+  ac.release(flow);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+}
+
+TEST(AdmissionTest, UtilizationTracked) {
+  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
+                         ByteSize::megabytes(10.0)};
+  const FlowSpec flow{Rate::megabits_per_second(12.0), ByteSize::kilobytes(10.0)};
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_DOUBLE_EQ(ac.utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace bufq

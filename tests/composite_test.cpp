@@ -1,0 +1,67 @@
+#include "core/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "core/threshold.h"
+
+namespace bufq {
+namespace {
+
+constexpr Time kNow = Time::zero();
+
+/// Two queues: queue 0 owns flows 0,1 (5 KB, thresholds 2K/3K); queue 1
+/// owns flow 2 (4 KB, threshold 4K).
+CompositeBufferManager make_composite() {
+  std::vector<std::unique_ptr<BufferManager>> managers;
+  managers.push_back(std::make_unique<ThresholdManager>(
+      ByteSize::bytes(5'000), std::vector<std::int64_t>{2'000, 3'000, 0}));
+  managers.push_back(std::make_unique<ThresholdManager>(
+      ByteSize::bytes(4'000), std::vector<std::int64_t>{0, 0, 4'000}));
+  return CompositeBufferManager{{0, 0, 1}, std::move(managers)};
+}
+
+TEST(CompositeManagerTest, RoutesAdmissionToOwningQueue) {
+  auto mgr = make_composite();
+  EXPECT_TRUE(mgr.try_admit(0, 2'000, kNow));
+  EXPECT_FALSE(mgr.try_admit(0, 1, kNow));  // flow 0's threshold reached
+  EXPECT_TRUE(mgr.try_admit(2, 4'000, kNow));
+  EXPECT_FALSE(mgr.try_admit(2, 1, kNow));
+}
+
+TEST(CompositeManagerTest, QueuesAreIsolated) {
+  auto mgr = make_composite();
+  // Fill queue 0 completely (flows 0+1 = 5 KB = its capacity).
+  ASSERT_TRUE(mgr.try_admit(0, 2'000, kNow));
+  ASSERT_TRUE(mgr.try_admit(1, 3'000, kNow));
+  // Queue 1 is untouched.
+  EXPECT_TRUE(mgr.try_admit(2, 4'000, kNow));
+}
+
+TEST(CompositeManagerTest, TotalsAggregateAcrossQueues) {
+  auto mgr = make_composite();
+  ASSERT_TRUE(mgr.try_admit(0, 1'000, kNow));
+  ASSERT_TRUE(mgr.try_admit(2, 2'000, kNow));
+  EXPECT_EQ(mgr.total_occupancy(), 3'000);
+  EXPECT_EQ(mgr.capacity(), ByteSize::bytes(9'000));
+  EXPECT_EQ(mgr.occupancy(0), 1'000);
+  EXPECT_EQ(mgr.occupancy(2), 2'000);
+}
+
+TEST(CompositeManagerTest, ReleaseRoutesCorrectly) {
+  auto mgr = make_composite();
+  ASSERT_TRUE(mgr.try_admit(1, 3'000, kNow));
+  EXPECT_FALSE(mgr.try_admit(1, 500, kNow));
+  mgr.release(1, 500, kNow);
+  EXPECT_TRUE(mgr.try_admit(1, 500, kNow));
+  EXPECT_EQ(mgr.queue_manager(0).occupancy(1), 3'000);
+}
+
+TEST(CompositeManagerTest, QueueCountAndAccessors) {
+  auto mgr = make_composite();
+  EXPECT_EQ(mgr.queue_count(), 2u);
+  EXPECT_EQ(mgr.queue_manager(0).capacity(), ByteSize::bytes(5'000));
+  EXPECT_EQ(mgr.queue_manager(1).capacity(), ByteSize::bytes(4'000));
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,140 @@
+#include "stats/delay.h"
+
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+
+namespace bufq {
+namespace {
+
+Packet at(FlowId flow, Time created) {
+  return Packet{.flow = flow, .size_bytes = 500, .seq = 0, .created = created};
+}
+
+TEST(DelayRecorderTest, EmptyFlowReportsZero) {
+  DelayRecorder rec{2};
+  EXPECT_EQ(rec.count(0), 0u);
+  EXPECT_EQ(rec.mean_delay(0), Time::zero());
+  EXPECT_EQ(rec.max_delay(0), Time::zero());
+  EXPECT_EQ(rec.quantile(0, 0.99), Time::zero());
+}
+
+TEST(DelayRecorderTest, MeanAndMaxExact) {
+  DelayRecorder rec{1};
+  rec.record(at(0, Time::zero()), Time::milliseconds(2));
+  rec.record(at(0, Time::zero()), Time::milliseconds(4));
+  rec.record(at(0, Time::zero()), Time::milliseconds(6));
+  EXPECT_EQ(rec.count(0), 3u);
+  EXPECT_EQ(rec.mean_delay(0), Time::milliseconds(4));
+  EXPECT_EQ(rec.max_delay(0), Time::milliseconds(6));
+}
+
+TEST(DelayRecorderTest, PerFlowSeparation) {
+  DelayRecorder rec{2};
+  rec.record(at(0, Time::zero()), Time::milliseconds(1));
+  rec.record(at(1, Time::zero()), Time::milliseconds(100));
+  EXPECT_LT(rec.mean_delay(0), rec.mean_delay(1));
+  EXPECT_EQ(rec.count(0), 1u);
+  EXPECT_EQ(rec.count(1), 1u);
+}
+
+TEST(DelayRecorderTest, QuantilesOrdered) {
+  DelayRecorder rec{1};
+  for (int i = 1; i <= 1000; ++i) {
+    rec.record(at(0, Time::zero()), Time::microseconds(i * 37));
+  }
+  const Time p50 = rec.quantile(0, 0.50);
+  const Time p90 = rec.quantile(0, 0.90);
+  const Time p99 = rec.quantile(0, 0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, rec.max_delay(0) + Time::milliseconds(10));
+}
+
+TEST(DelayRecorderTest, QuantileApproximatesTrueValue) {
+  // Uniform 0..100 ms: p50 ~ 50 ms within the ~20% bin resolution.
+  DelayRecorder rec{1};
+  for (int i = 1; i <= 10'000; ++i) {
+    rec.record(at(0, Time::zero()), Time::microseconds(i * 10));
+  }
+  const double p50_s = rec.quantile(0, 0.50).to_seconds();
+  EXPECT_NEAR(p50_s, 0.050, 0.015);
+}
+
+TEST(DelayRecorderTest, AggregatesAcrossFlows) {
+  DelayRecorder rec{3};
+  rec.record(at(0, Time::zero()), Time::milliseconds(2));
+  rec.record(at(1, Time::zero()), Time::milliseconds(4));
+  rec.record(at(2, Time::zero()), Time::milliseconds(12));
+  EXPECT_EQ(rec.mean_delay_all(), Time::milliseconds(6));
+  EXPECT_EQ(rec.max_delay_all(), Time::milliseconds(12));
+}
+
+TEST(DelayRecorderTest, HugeDelaysClampIntoLastBin) {
+  DelayRecorder rec{1};
+  rec.record(at(0, Time::zero()), Time::seconds(5'000));
+  EXPECT_EQ(rec.count(0), 1u);
+  EXPECT_GT(rec.quantile(0, 0.5), Time::zero());
+}
+
+// ---------------------------------------------- end-to-end delay facts
+
+TEST(DelayExperimentTest, FifoDelayBoundedBySharedBuffer) {
+  // The paper's Section 1 bound: FIFO queueing delay <= B/R.  (The 500 B
+  // in flight adds one serialization time.)
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.buffer = ByteSize::kilobytes(500.0);
+  config.flows = table1_flows();
+  config.scheme.scheduler = SchedulerKind::kFifo;
+  config.scheme.manager = ManagerKind::kThreshold;
+  config.warmup = Time::seconds(2);
+  config.duration = Time::seconds(10);
+  config.record_delays = true;
+  const auto result = run_experiment(config);
+  const double bound_s = 500'000.0 * 8.0 / paper_link_rate().bps() + 1e-4;
+  ASSERT_EQ(result.delays.size(), 9u);
+  for (const auto& d : result.delays) {
+    EXPECT_LE(d.max_s, bound_s * 1.01);
+  }
+}
+
+TEST(DelayExperimentTest, WfqGivesConformantFlowsLowerDelayThanFifo) {
+  // The delay trade-off the paper concedes: under FIFO, conformant flows
+  // wait behind everyone's backlog; WFQ isolates them.
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.buffer = ByteSize::megabytes(1.0);
+  config.flows = table1_flows();
+  config.scheme.manager = ManagerKind::kThreshold;
+  config.warmup = Time::seconds(2);
+  config.duration = Time::seconds(10);
+  config.record_delays = true;
+
+  config.scheme.scheduler = SchedulerKind::kFifo;
+  const auto fifo = run_experiment(config);
+  config.scheme.scheduler = SchedulerKind::kWfq;
+  const auto wfq = run_experiment(config);
+
+  double fifo_mean = 0.0, wfq_mean = 0.0;
+  for (FlowId f = 0; f < 6; ++f) {
+    fifo_mean += fifo.delays[static_cast<std::size_t>(f)].mean_s;
+    wfq_mean += wfq.delays[static_cast<std::size_t>(f)].mean_s;
+  }
+  EXPECT_LT(wfq_mean, fifo_mean);
+}
+
+TEST(DelayExperimentTest, DelaysOffByDefault) {
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.buffer = ByteSize::megabytes(1.0);
+  config.flows = table1_flows();
+  config.warmup = Time::seconds(1);
+  config.duration = Time::seconds(2);
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.delays.empty());
+}
+
+}  // namespace
+}  // namespace bufq

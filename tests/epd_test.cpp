@@ -1,0 +1,192 @@
+#include "core/epd.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "traffic/frames.h"
+
+namespace bufq {
+namespace {
+
+constexpr Time kNow = Time::zero();
+constexpr std::int64_t kSeg = 500;
+
+Packet segment(FlowId flow, std::int64_t frame, std::uint64_t index, bool end) {
+  return Packet{.flow = flow,
+                .size_bytes = kSeg,
+                .seq = index,
+                .created = kNow,
+                .frame = frame,
+                .frame_end = end};
+}
+
+EpdManager make_manager(std::int64_t capacity, std::int64_t threshold) {
+  return EpdManager{std::make_unique<TailDropManager>(ByteSize::bytes(capacity), 2),
+                    ByteSize::bytes(threshold), 2};
+}
+
+TEST(EpdManagerTest, AdmitsWholeFramesBelowThreshold) {
+  auto mgr = make_manager(10'000, 5'000);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(mgr.try_admit_packet(segment(0, 0, i, i == 4), kNow)) << i;
+  }
+  EXPECT_EQ(mgr.total_occupancy(), 5 * kSeg);
+  EXPECT_EQ(mgr.frames_refused_early(), 0u);
+}
+
+TEST(EpdManagerTest, RefusesNewFramesAboveThreshold) {
+  auto mgr = make_manager(10'000, 2'000);
+  // Frame 0: 4 segments admitted (occupancy crosses the threshold during
+  // the frame, which EPD tolerates — only *new* frames are cut).
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(mgr.try_admit_packet(segment(0, 0, i, i == 3), kNow));
+  }
+  ASSERT_GE(mgr.total_occupancy(), 2'000);
+  // Frame 1: refused at its first segment and all the way through.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(mgr.try_admit_packet(segment(0, 1, i, i == 3), kNow)) << i;
+  }
+  EXPECT_EQ(mgr.frames_refused_early(), 1u);
+  // Nothing of frame 1 entered the buffer.
+  EXPECT_EQ(mgr.total_occupancy(), 4 * kSeg);
+}
+
+TEST(EpdManagerTest, RecoveryAfterDrain) {
+  auto mgr = make_manager(10'000, 2'000);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(mgr.try_admit_packet(segment(0, 0, i, i == 3), kNow));
+  }
+  ASSERT_FALSE(mgr.try_admit_packet(segment(0, 1, 0, false), kNow));
+  // Drain below the threshold; the *next* frame goes through (frame 1's
+  // tail is still doomed).
+  mgr.release(0, 3 * kSeg, kNow);
+  EXPECT_FALSE(mgr.try_admit_packet(segment(0, 1, 1, false), kNow)) << "doomed tail";
+  EXPECT_TRUE(mgr.try_admit_packet(segment(0, 2, 0, false), kNow)) << "fresh frame";
+}
+
+TEST(EpdManagerTest, PpdCutsTailAfterMidFrameLoss) {
+  // Capacity barely above threshold: a frame starts below the threshold
+  // but hits the physical limit mid-way; PPD must cut the rest.
+  auto mgr = make_manager(2'500, 2'400);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mgr.try_admit_packet(segment(0, 0, i, false), kNow)) << i;
+  }
+  // Sixth segment exceeds the 2500 B capacity -> inner refusal -> doom.
+  EXPECT_FALSE(mgr.try_admit_packet(segment(0, 0, 5, false), kNow));
+  EXPECT_EQ(mgr.frames_partially_dropped(), 1u);
+  // Space frees up, but the frame's tail is still refused.
+  mgr.release(0, 2 * kSeg, kNow);
+  EXPECT_FALSE(mgr.try_admit_packet(segment(0, 0, 6, false), kNow));
+  EXPECT_FALSE(mgr.try_admit_packet(segment(0, 0, 7, true), kNow));
+  // The next frame is clean.
+  EXPECT_TRUE(mgr.try_admit_packet(segment(0, 1, 0, true), kNow));
+}
+
+TEST(EpdManagerTest, FlowsDoomedIndependently) {
+  auto mgr = make_manager(10'000, 1'000);
+  ASSERT_TRUE(mgr.try_admit_packet(segment(0, 0, 0, false), kNow));
+  ASSERT_TRUE(mgr.try_admit_packet(segment(0, 0, 1, false), kNow));
+  // Above threshold now: flow 1's new frame refused...
+  EXPECT_FALSE(mgr.try_admit_packet(segment(1, 0, 0, false), kNow));
+  // ...but flow 0's in-flight frame continues.
+  EXPECT_TRUE(mgr.try_admit_packet(segment(0, 0, 2, true), kNow));
+}
+
+TEST(EpdManagerTest, FramelessPacketsBypassFrameLogic) {
+  auto mgr = make_manager(10'000, 1'000);
+  Packet plain{.flow = 0, .size_bytes = kSeg, .seq = 0, .created = kNow};
+  // Fill past the EPD threshold with plain packets: still admitted until
+  // the physical capacity binds.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(mgr.try_admit_packet(plain, kNow)) << i;
+  }
+  EXPECT_FALSE(mgr.try_admit_packet(plain, kNow));
+}
+
+// ------------------------------------------------------- reassembler
+
+TEST(FrameReassemblerTest, CountsCompleteFrames) {
+  FrameReassembler sink{1};
+  for (std::uint64_t i = 0; i < 5; ++i) sink.accept(segment(0, 0, i, i == 4));
+  for (std::uint64_t i = 0; i < 5; ++i) sink.accept(segment(0, 1, i, i == 4));
+  EXPECT_EQ(sink.complete_frames(0), 2u);
+  EXPECT_EQ(sink.wasted_bytes(), 0);
+}
+
+TEST(FrameReassemblerTest, MissingMiddleSegmentSpoilsFrame) {
+  FrameReassembler sink{1};
+  sink.accept(segment(0, 0, 0, false));
+  sink.accept(segment(0, 0, 2, false));  // seq 1 missing
+  sink.accept(segment(0, 0, 3, true));
+  EXPECT_EQ(sink.complete_frames(0), 0u);
+  EXPECT_EQ(sink.wasted_bytes(), 3 * kSeg);
+}
+
+TEST(FrameReassemblerTest, MissingHeadSpoilsFrame) {
+  FrameReassembler sink{1};
+  sink.accept(segment(0, 0, 1, false));  // head (seq 0) missing
+  sink.accept(segment(0, 0, 2, true));
+  EXPECT_EQ(sink.complete_frames(0), 0u);
+}
+
+TEST(FrameReassemblerTest, MissingTailSpoilsFrameWithoutBlockingNext) {
+  FrameReassembler sink{1};
+  sink.accept(segment(0, 0, 0, false));  // tail never arrives
+  for (std::uint64_t i = 0; i < 3; ++i) sink.accept(segment(0, 1, i, i == 2));
+  EXPECT_EQ(sink.complete_frames(0), 1u);
+  EXPECT_EQ(sink.wasted_bytes(), kSeg);  // frame 0's lone segment
+}
+
+TEST(FrameReassemblerTest, WhollyDroppedFrameDoesNotSpoilNeighbors) {
+  FrameReassembler sink{1};
+  for (std::uint64_t i = 0; i < 3; ++i) sink.accept(segment(0, 0, i, i == 2));
+  // frame 1 never arrives at all (EPD killed it)
+  for (std::uint64_t i = 0; i < 3; ++i) sink.accept(segment(0, 2, i, i == 2));
+  EXPECT_EQ(sink.complete_frames(0), 2u);
+}
+
+// ----------------------------------------------- end-to-end goodput
+
+/// The classic EPD result (the paper's refs [7]/[9]): under frame
+/// overload, spending bandwidth only on whole frames beats blind tail
+/// drop in *frame* goodput.
+TEST(EpdEndToEndTest, EpdBeatsTailDropOnFrameGoodput) {
+  auto run = [&](bool use_epd) {
+    Simulator sim;
+    const auto capacity = ByteSize::bytes(20'000);
+    EpdManager mgr{std::make_unique<TailDropManager>(capacity, 2),
+                   use_epd ? ByteSize::bytes(10'000) : capacity, 2};
+    FrameFifoScheduler fifo{mgr};
+    Link link{sim, fifo, Rate::megabits_per_second(10.0)};
+    FrameReassembler reassembler{2};
+    link.set_delivery_handler(
+        [&](const Packet& p, Time) { reassembler.accept(p); });
+
+    // Two frame sources jointly offering ~2x the link rate.
+    FrameSource::Params params{
+        .flow = 0,
+        .peak_rate = Rate::megabits_per_second(40.0),
+        .mean_frame_interval = Time::milliseconds(4),
+        .segments_per_frame = 10,
+        .segment_bytes = kSeg,
+    };
+    FrameSource s0{sim, link, params, Rng{1}};
+    params.flow = 1;
+    FrameSource s1{sim, link, params, Rng{2}};
+    s0.start();
+    s1.start();
+    sim.run_until(Time::seconds(20));
+    return reassembler.complete_frames_total();
+  };
+
+  const auto tail_drop_frames = run(false);
+  const auto epd_frames = run(true);
+  EXPECT_GT(epd_frames, tail_drop_frames * 12 / 10)
+      << "EPD should deliver at least ~20% more complete frames";
+}
+
+}  // namespace
+}  // namespace bufq

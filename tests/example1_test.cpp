@@ -1,0 +1,126 @@
+#include "core/example1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bufq {
+namespace {
+
+// Paper-like setting: R = 48 Mb/s, rho1 = 12 Mb/s, B = 1 MB.
+const Rate kLink = Rate::megabits_per_second(48.0);
+const Rate kRho1 = Rate::megabits_per_second(12.0);
+constexpr auto kBuffer = ByteSize::megabytes(1.0);
+
+TEST(Example1Test, BufferSplitMatchesProposition1) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  EXPECT_DOUBLE_EQ(dyn.b1_bytes(), 250'000.0);
+  EXPECT_DOUBLE_EQ(dyn.b2_bytes(), 750'000.0);
+}
+
+TEST(Example1Test, FirstIntervalFlow1GetsNothing) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(1);
+  ASSERT_EQ(ivals.size(), 1u);
+  // l_1 = B2 / R = 750000 / 6e6 = 0.125 s; flow 1 starved, flow 2 at R.
+  EXPECT_DOUBLE_EQ(ivals[0].length_s, 0.125);
+  EXPECT_DOUBLE_EQ(ivals[0].rate_flow1_bps, 0.0);
+  EXPECT_DOUBLE_EQ(ivals[0].rate_flow2_bps, 48e6);
+}
+
+TEST(Example1Test, SecondIntervalMatchesPaperFormula) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(2);
+  // l_2 = (rho1/R) l_1 + B2/R = 0.25*0.125 + 0.125 = 0.15625 s.
+  EXPECT_DOUBLE_EQ(ivals[1].length_s, 0.15625);
+  // R_2^1 = rho1/(rho1+R) * R  (paper): 12/(12+48)*48 = 9.6 Mb/s.
+  EXPECT_NEAR(ivals[1].rate_flow1_bps, 9.6e6, 1.0);
+  EXPECT_NEAR(ivals[1].rate_flow2_bps, 38.4e6, 1.0);
+}
+
+TEST(Example1Test, IntervalsSatisfyRecursion) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(50);
+  const double r = 6e6, rho = 1.5e6, b2 = 750'000.0;
+  for (std::size_t i = 1; i < ivals.size(); ++i) {
+    EXPECT_NEAR(ivals[i].length_s, (rho / r) * ivals[i - 1].length_s + b2 / r, 1e-12);
+    EXPECT_NEAR(ivals[i].start_s, ivals[i - 1].end_s, 1e-12);
+  }
+}
+
+TEST(Example1Test, RatesPartitionTheLink) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  for (const auto& ival : dyn.intervals(20)) {
+    EXPECT_NEAR(ival.rate_flow1_bps + ival.rate_flow2_bps, 48e6, 1e-3);
+  }
+}
+
+TEST(Example1Test, Flow1RateIncreasesMonotonically) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(100);
+  for (std::size_t i = 1; i < ivals.size(); ++i) {
+    EXPECT_GE(ivals[i].rate_flow1_bps, ivals[i - 1].rate_flow1_bps - 1e-9);
+  }
+}
+
+TEST(Example1Test, Flow1RateStaysBelowGuarantee) {
+  // The paper notes R_i^1 < rho1 for all finite i: the guarantee is only
+  // reached asymptotically.
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(1'000);
+  for (std::size_t i = 0; i < ivals.size(); ++i) {
+    if (i < 20) {
+      EXPECT_LT(ivals[i].rate_flow1_bps, kRho1.bps());
+    } else {
+      // Beyond double-precision convergence the strict inequality may
+      // collapse to equality.
+      EXPECT_LE(ivals[i].rate_flow1_bps, kRho1.bps() + 1e-3);
+    }
+  }
+}
+
+TEST(Example1Test, LimitsMatchClosedForm) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto lim = dyn.limits();
+  // l_inf = B2/(R - rho1) = 750000/4.5e6 s.
+  EXPECT_NEAR(lim.interval_length_s, 750'000.0 / 4.5e6, 1e-12);
+  EXPECT_DOUBLE_EQ(lim.rate_flow1_bps, 12e6);
+  EXPECT_DOUBLE_EQ(lim.rate_flow2_bps, 36e6);
+}
+
+TEST(Example1Test, DynamicsConvergeToLimits) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(200);
+  const auto lim = dyn.limits();
+  const auto& last = ivals.back();
+  EXPECT_NEAR(last.length_s, lim.interval_length_s, lim.interval_length_s * 1e-9);
+  EXPECT_NEAR(last.rate_flow1_bps, lim.rate_flow1_bps, lim.rate_flow1_bps * 1e-9);
+}
+
+TEST(Example1Test, Q1ConvergesToItsThreshold) {
+  // Flow 1 asymptotically fills exactly its allowed share B1.
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const auto ivals = dyn.intervals(200);
+  EXPECT_NEAR(ivals.back().q1_end_bytes, dyn.b1_bytes(), 1.0);
+  // And never exceeds it (Proposition 1).
+  for (const auto& ival : ivals) {
+    EXPECT_LE(ival.q1_end_bytes, dyn.b1_bytes() + 1e-6);
+  }
+}
+
+TEST(Example1Test, ConvergenceFasterWhenGuaranteeSmaller) {
+  // Smaller rho1/R contracts the recursion faster.
+  Example1Dynamics slow{kLink, Rate::megabits_per_second(40.0), kBuffer};
+  Example1Dynamics fast{kLink, Rate::megabits_per_second(4.0), kBuffer};
+  EXPECT_LT(fast.intervals_to_converge(0.01), slow.intervals_to_converge(0.01));
+}
+
+TEST(Example1Test, ConvergenceCountIsReasonable) {
+  Example1Dynamics dyn{kLink, kRho1, kBuffer};
+  const int n = dyn.intervals_to_converge(0.01);
+  EXPECT_GT(n, 1);
+  EXPECT_LT(n, 50);
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,103 @@
+#include "sched/fifo.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/threshold.h"
+
+namespace bufq {
+namespace {
+
+constexpr Time kNow = Time::zero();
+
+Packet make_packet(FlowId flow, std::uint64_t seq, std::int64_t size = 500) {
+  return Packet{.flow = flow, .size_bytes = size, .seq = seq, .created = kNow};
+}
+
+TEST(FifoSchedulerTest, StartsEmpty) {
+  TailDropManager mgr{ByteSize::bytes(10'000), 2};
+  FifoScheduler fifo{mgr};
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_EQ(fifo.backlog_bytes(), 0);
+  EXPECT_FALSE(fifo.dequeue(kNow).has_value());
+}
+
+TEST(FifoSchedulerTest, FirstInFirstOut) {
+  TailDropManager mgr{ByteSize::bytes(10'000), 2};
+  FifoScheduler fifo{mgr};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fifo.enqueue(make_packet(static_cast<FlowId>(i % 2), i), kNow));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto p = fifo.dequeue(kNow);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(FifoSchedulerTest, InterleavesFlowsInArrivalOrder) {
+  TailDropManager mgr{ByteSize::bytes(10'000), 3};
+  FifoScheduler fifo{mgr};
+  ASSERT_TRUE(fifo.enqueue(make_packet(2, 0), kNow));
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 0), kNow));
+  ASSERT_TRUE(fifo.enqueue(make_packet(1, 0), kNow));
+  EXPECT_EQ(fifo.dequeue(kNow)->flow, 2);
+  EXPECT_EQ(fifo.dequeue(kNow)->flow, 0);
+  EXPECT_EQ(fifo.dequeue(kNow)->flow, 1);
+}
+
+TEST(FifoSchedulerTest, DropInvokesHandlerAndReturnsFalse) {
+  TailDropManager mgr{ByteSize::bytes(1'000), 1};
+  FifoScheduler fifo{mgr};
+  std::vector<Packet> drops;
+  fifo.set_drop_handler([&](const Packet& p, Time) { drops.push_back(p); });
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 0), kNow));
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 1), kNow));
+  EXPECT_FALSE(fifo.enqueue(make_packet(0, 2), kNow));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].seq, 2u);
+  EXPECT_EQ(fifo.queue_length(), 2u);
+}
+
+TEST(FifoSchedulerTest, DequeueReleasesBufferOccupancy) {
+  TailDropManager mgr{ByteSize::bytes(1'000), 1};
+  FifoScheduler fifo{mgr};
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 0), kNow));
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 1), kNow));
+  EXPECT_EQ(mgr.total_occupancy(), 1'000);
+  ASSERT_TRUE(fifo.dequeue(kNow).has_value());
+  EXPECT_EQ(mgr.total_occupancy(), 500);
+  EXPECT_TRUE(fifo.enqueue(make_packet(0, 2), kNow));
+}
+
+TEST(FifoSchedulerTest, BacklogBytesTracked) {
+  TailDropManager mgr{ByteSize::bytes(10'000), 1};
+  FifoScheduler fifo{mgr};
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 0, 300), kNow));
+  ASSERT_TRUE(fifo.enqueue(make_packet(0, 1, 700), kNow));
+  EXPECT_EQ(fifo.backlog_bytes(), 1'000);
+  (void)fifo.dequeue(kNow);
+  EXPECT_EQ(fifo.backlog_bytes(), 700);
+}
+
+TEST(FifoSchedulerTest, WithThresholdManagerIsolatesFlows) {
+  // Integration at the discipline level: greedy flow 1 fills its
+  // threshold; flow 0 can still enqueue.
+  const std::vector<FlowSpec> flows{
+      {Rate::megabits_per_second(12.0), ByteSize::zero()},
+      {Rate::megabits_per_second(12.0), ByteSize::zero()},
+  };
+  ThresholdManager mgr{ByteSize::bytes(8'000), Rate::megabits_per_second(48.0), flows,
+                       ThresholdScaling::kExact};
+  FifoScheduler fifo{mgr};
+  std::uint64_t seq = 0;
+  while (fifo.enqueue(make_packet(1, seq), kNow)) ++seq;
+  EXPECT_EQ(mgr.occupancy(1), 2'000);  // B * rho/R = 8000/4
+  EXPECT_TRUE(fifo.enqueue(make_packet(0, 0), kNow));
+}
+
+}  // namespace
+}  // namespace bufq

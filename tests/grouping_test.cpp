@@ -1,0 +1,134 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+#include "util/rng.h"
+
+namespace bufq {
+namespace {
+
+const Rate kLink = Rate::megabits_per_second(48.0);
+
+FlowSpec make_spec(double rho_mbps, double sigma_kb) {
+  return FlowSpec{Rate::megabits_per_second(rho_mbps), ByteSize::kilobytes(sigma_kb)};
+}
+
+TEST(GroupingTest, SValueOfSingleGroupMatchesHybridAnalysis) {
+  const std::vector<FlowSpec> specs{make_spec(2, 50), make_spec(8, 100)};
+  const double s = grouping_s_value(specs, {{0, 1}});
+  // sigma = 150 KB, rho = 10 Mb/s = 1.25e6 B/s.
+  EXPECT_NEAR(s, std::sqrt(150'000.0 * 1.25e6), 1e-3);
+}
+
+TEST(GroupingTest, SplittingNeverIncreasesS) {
+  // Cauchy-Schwarz: separating any two flows lowers (or keeps) S.
+  const std::vector<FlowSpec> specs{make_spec(2, 50), make_spec(8, 10)};
+  const double together = grouping_s_value(specs, {{0, 1}});
+  const double apart = grouping_s_value(specs, {{0}, {1}});
+  EXPECT_LE(apart, together + 1e-9);
+}
+
+TEST(GroupingTest, IdenticalRatioFlowsMergeFree) {
+  // sigma/rho equal: merging costs nothing (equality case).
+  const std::vector<FlowSpec> specs{make_spec(2, 50), make_spec(4, 100)};
+  const double together = grouping_s_value(specs, {{0, 1}});
+  const double apart = grouping_s_value(specs, {{0}, {1}});
+  EXPECT_NEAR(together, apart, 1e-6);
+}
+
+TEST(GroupingTest, OptimizeRespectsQueueBudget) {
+  const auto specs = flow_specs(table1_flows());
+  for (std::size_t k : {1u, 2u, 3u, 5u, 9u}) {
+    const auto result = optimize_grouping(specs, k, kLink);
+    EXPECT_LE(result.groups.size(), k);
+    // Every flow appears exactly once.
+    std::vector<int> seen(specs.size(), 0);
+    for (const auto& g : result.groups) {
+      for (FlowId f : g) ++seen[static_cast<std::size_t>(f)];
+    }
+    for (int c : seen) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(GroupingTest, MoreQueuesNeverWorse) {
+  const auto specs = flow_specs(table2_flows());
+  double prev = optimize_grouping(specs, 1, kLink).total_buffer_bytes;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double current = optimize_grouping(specs, k, kLink).total_buffer_bytes;
+    EXPECT_LE(current, prev + 1e-6) << "k=" << k;
+    prev = current;
+  }
+}
+
+TEST(GroupingTest, DpMatchesExhaustiveOnSmallRandomInstances) {
+  // The DP restricted to ratio-sorted contiguous segments should find the
+  // global optimum; verify against brute force on random instances.
+  Rng rng{2024};
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<FlowSpec> specs;
+    const std::size_t n = 4 + rng.uniform_u64(4);  // 4..7 flows
+    for (std::size_t f = 0; f < n; ++f) {
+      // Rates capped so the set always fits the 48 Mb/s link (sum < 7*5).
+      specs.push_back(make_spec(0.5 + rng.uniform(0.0, 4.5), 5.0 + rng.uniform(0.0, 200.0)));
+    }
+    const std::size_t k = 2 + rng.uniform_u64(2);  // 2..3 queues
+    const auto dp = optimize_grouping(specs, k, kLink);
+    const auto brute = exhaustive_grouping(specs, k, kLink);
+    EXPECT_NEAR(dp.s_value, brute.s_value, brute.s_value * 1e-9)
+        << "trial " << trial << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(GroupingTest, OptimizedGroupingBeatsOrMatchesPaperCase1) {
+  // The paper groups Table 1 by conformance class; the optimizer may only
+  // improve on (or match) that choice.
+  const auto specs = flow_specs(table1_flows());
+  const double paper = grouping_buffer_bytes(specs, case1_groups(), kLink);
+  const auto optimized = optimize_grouping(specs, 3, kLink);
+  EXPECT_LE(optimized.total_buffer_bytes, paper + 1e-6);
+}
+
+TEST(GroupingTest, BufferMatchesEquation19) {
+  const auto specs = flow_specs(table1_flows());
+  const auto result = optimize_grouping(specs, 3, kLink);
+  EXPECT_NEAR(result.total_buffer_bytes,
+              grouping_buffer_bytes(specs, result.groups, kLink), 1.0);
+}
+
+TEST(GroupingTest, SingleQueueEqualsSingleFifoCost) {
+  const auto specs = flow_specs(table1_flows());
+  const auto result = optimize_grouping(specs, 1, kLink);
+  ASSERT_EQ(result.groups.size(), 1u);
+  // sigma = 600 KB, rho = 32.8 Mb/s: B = R*sigma/(R-rho).
+  EXPECT_NEAR(result.total_buffer_bytes, 48.0 * 600'000.0 / (48.0 - 32.8), 1.0);
+}
+
+TEST(GroupingTest, GroupsAreRatioContiguous) {
+  // Flows in the same optimized group have adjacent sigma/rho ratios.
+  const auto specs = flow_specs(table2_flows());
+  const auto result = optimize_grouping(specs, 3, kLink);
+  auto ratio = [&](FlowId f) {
+    const auto& s = specs[static_cast<std::size_t>(f)];
+    return static_cast<double>(s.sigma.count()) / s.rho.bytes_per_second();
+  };
+  // Compute each group's [min, max] ratio range; ranges must not overlap
+  // beyond shared boundary values.
+  std::vector<std::pair<double, double>> ranges;
+  for (const auto& g : result.groups) {
+    double lo = ratio(g.front()), hi = ratio(g.front());
+    for (FlowId f : g) {
+      lo = std::min(lo, ratio(f));
+      hi = std::max(hi, ratio(f));
+    }
+    ranges.emplace_back(lo, hi);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,191 @@
+#include "core/hybrid_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace bufq {
+namespace {
+
+const Rate kLink = Rate::megabits_per_second(48.0);
+
+std::vector<QueueAggregate> paper_case1_aggregates() {
+  // Table 1 grouped as in Case 1: {0,1,2} {3,4,5} {6,7,8}.
+  return {
+      {Rate::megabits_per_second(6.0), ByteSize::kilobytes(150.0)},
+      {Rate::megabits_per_second(24.0), ByteSize::kilobytes(300.0)},
+      {Rate::megabits_per_second(2.8), ByteSize::kilobytes(150.0)},
+  };
+}
+
+TEST(HybridAnalysisTest, AggregateGroupsSums) {
+  const std::vector<std::vector<FlowSpec>> groups{
+      {{Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)},
+       {Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)}},
+      {{Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)}},
+  };
+  const auto agg = aggregate_groups(groups);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg[0].rho_hat.mbps(), 4.0);
+  EXPECT_EQ(agg[0].sigma_hat, ByteSize::kilobytes(100.0));
+  EXPECT_DOUBLE_EQ(agg[1].rho_hat.mbps(), 8.0);
+}
+
+TEST(HybridAnalysisTest, AlphasSumToOne) {
+  const auto alphas = prop3_alphas(paper_case1_aggregates());
+  const double sum = std::accumulate(alphas.begin(), alphas.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double a : alphas) EXPECT_GT(a, 0.0);
+}
+
+TEST(HybridAnalysisTest, AlphasMatchEquation14) {
+  const auto queues = paper_case1_aggregates();
+  const auto alphas = prop3_alphas(queues);
+  double s = 0.0;
+  std::vector<double> roots;
+  for (const auto& q : queues) {
+    roots.push_back(
+        std::sqrt(static_cast<double>(q.sigma_hat.count()) * q.rho_hat.bytes_per_second()));
+    s += roots.back();
+  }
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    EXPECT_NEAR(alphas[i], roots[i] / s, 1e-12);
+  }
+}
+
+TEST(HybridAnalysisTest, RatesSumToLinkRate) {
+  const auto queues = paper_case1_aggregates();
+  const auto rates = hybrid_rates(queues, kLink, prop3_alphas(queues));
+  double sum = 0.0;
+  for (const auto& r : rates) sum += r.bps();
+  EXPECT_NEAR(sum, kLink.bps(), 1.0);
+}
+
+TEST(HybridAnalysisTest, EveryQueueGetsAtLeastItsReservation) {
+  const auto queues = paper_case1_aggregates();
+  const auto rates = hybrid_rates(queues, kLink, prop3_alphas(queues));
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    EXPECT_GT(rates[i].bps(), queues[i].rho_hat.bps());
+  }
+}
+
+TEST(HybridAnalysisTest, QueueMinBufferMatchesEquation11) {
+  const QueueAggregate q{Rate::megabits_per_second(24.0), ByteSize::kilobytes(300.0)};
+  // Served at 32 Mb/s: B = 32 * 300K / (32-24) = 1200 KB.
+  EXPECT_NEAR(queue_min_buffer_bytes(q, Rate::megabits_per_second(32.0)), 1'200'000.0, 1e-6);
+}
+
+TEST(HybridAnalysisTest, OptimalBufferMatchesEquation19) {
+  const auto queues = paper_case1_aggregates();
+  const double via_sum = hybrid_total_buffer_bytes(queues, kLink, prop3_alphas(queues));
+  const double via_closed_form = hybrid_optimal_buffer_bytes(queues, kLink);
+  EXPECT_NEAR(via_sum, via_closed_form, via_closed_form * 1e-9);
+}
+
+TEST(HybridAnalysisTest, OptimalAlphasBeatAnyPerturbation) {
+  // Proposition 3: the alpha of eq. 14 minimizes the total buffer.  Probe
+  // perturbations in several directions.
+  const auto queues = paper_case1_aggregates();
+  const auto best = prop3_alphas(queues);
+  const double optimal = hybrid_total_buffer_bytes(queues, kLink, best);
+  const double deltas[] = {0.01, 0.05, 0.10};
+  for (double d : deltas) {
+    for (std::size_t i = 0; i < queues.size(); ++i) {
+      for (std::size_t j = 0; j < queues.size(); ++j) {
+        if (i == j) continue;
+        auto perturbed = best;
+        if (perturbed[j] <= d) continue;
+        perturbed[i] += d;
+        perturbed[j] -= d;
+        EXPECT_GE(hybrid_total_buffer_bytes(queues, kLink, perturbed), optimal - 1e-6)
+            << "perturbation " << d << " (" << i << "<-" << j << ") beat the optimum";
+      }
+    }
+  }
+}
+
+TEST(HybridAnalysisTest, RateProportionalAlphasGiveNoSavings) {
+  // The paper: alpha_i = rho_hat_i / rho makes B_hybrid == B_FIFO.
+  const auto queues = paper_case1_aggregates();
+  double rho = 0.0;
+  for (const auto& q : queues) rho += q.rho_hat.bps();
+  std::vector<double> alphas;
+  for (const auto& q : queues) alphas.push_back(q.rho_hat.bps() / rho);
+  const double hybrid = hybrid_total_buffer_bytes(queues, kLink, alphas);
+  const double fifo = single_fifo_buffer_bytes(queues, kLink);
+  EXPECT_NEAR(hybrid, fifo, fifo * 1e-9);
+}
+
+TEST(HybridAnalysisTest, SavingsMatchEquation17) {
+  const auto queues = paper_case1_aggregates();
+  // eq. 17: sum over ordered pairs (i,j) of (sqrt(s_i r_j) - sqrt(s_j r_i))^2
+  // divided by (R - rho).
+  double rho = 0.0;
+  for (const auto& q : queues) rho += q.rho_hat.bytes_per_second();
+  const double excess = kLink.bytes_per_second() - rho;
+  double num = 0.0;
+  for (const auto& qi : queues) {
+    for (const auto& qj : queues) {
+      const double si = static_cast<double>(qi.sigma_hat.count());
+      const double sj = static_cast<double>(qj.sigma_hat.count());
+      const double ri = qi.rho_hat.bytes_per_second();
+      const double rj = qj.rho_hat.bytes_per_second();
+      const double diff = std::sqrt(si * rj) - std::sqrt(sj * ri);
+      num += diff * diff;
+    }
+  }
+  // The paper's sum over i,j double counts each unordered pair, and the
+  // direct expansion shows eq. 17's numerator equals sigma*rho - S^2 only
+  // with the factor 1/2 over ordered pairs.
+  const double expected = num / (2.0 * excess);
+  EXPECT_NEAR(hybrid_buffer_savings_bytes(queues, kLink), expected, expected * 1e-9);
+}
+
+TEST(HybridAnalysisTest, SavingsNonNegativeAcrossGroupings) {
+  // Property: any grouping with the optimal alphas needs at most the
+  // single-FIFO buffer.
+  for (int split = 1; split <= 9; ++split) {
+    const std::vector<QueueAggregate> queues{
+        {Rate::megabits_per_second(static_cast<double>(split)), ByteSize::kilobytes(50.0)},
+        {Rate::megabits_per_second(static_cast<double>(10 - split)),
+         ByteSize::kilobytes(450.0)},
+    };
+    EXPECT_GE(hybrid_buffer_savings_bytes(queues, kLink), -1e-6) << "split " << split;
+  }
+}
+
+TEST(HybridAnalysisTest, HomogeneousGroupsSaveNothing) {
+  // If sigma_i/rho_i is identical across queues, eq. 17's numerator
+  // vanishes: grouping identical traffic gains nothing.
+  const std::vector<QueueAggregate> queues{
+      {Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)},
+      {Rate::megabits_per_second(16.0), ByteSize::kilobytes(200.0)},
+  };
+  EXPECT_NEAR(hybrid_buffer_savings_bytes(queues, kLink), 0.0, 1e-6);
+}
+
+TEST(HybridAnalysisTest, HeterogeneousGroupsSaveMore) {
+  // The more dissimilar sigma/rho ratios are, the larger the savings.
+  const std::vector<QueueAggregate> similar{
+      {Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)},
+      {Rate::megabits_per_second(10.0), ByteSize::kilobytes(150.0)},
+  };
+  const std::vector<QueueAggregate> dissimilar{
+      {Rate::megabits_per_second(8.0), ByteSize::kilobytes(10.0)},
+      {Rate::megabits_per_second(10.0), ByteSize::kilobytes(240.0)},
+  };
+  EXPECT_GT(hybrid_buffer_savings_bytes(dissimilar, kLink),
+            hybrid_buffer_savings_bytes(similar, kLink));
+}
+
+TEST(HybridAnalysisTest, SingleQueueReducesToSingleFifo) {
+  const std::vector<QueueAggregate> queues{
+      {Rate::megabits_per_second(32.8), ByteSize::kilobytes(600.0)},
+  };
+  EXPECT_NEAR(hybrid_optimal_buffer_bytes(queues, kLink),
+              single_fifo_buffer_bytes(queues, kLink), 1e-6);
+}
+
+}  // namespace
+}  // namespace bufq

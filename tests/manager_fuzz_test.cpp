@@ -1,0 +1,157 @@
+// Randomized invariant checks applied uniformly to every BufferManager
+// implementation.  A deterministic pseudo-random client issues admit /
+// release operations (releases only of bytes actually admitted) and after
+// every step the universal manager invariants are asserted:
+//
+//   * per-flow occupancy is non-negative and sums to the total,
+//   * the total never exceeds the physical capacity,
+//   * a refused admission leaves all accounting untouched,
+//   * draining everything returns the manager to an admitting state.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/dynamic_threshold.h"
+#include "core/red.h"
+#include "core/selective_sharing.h"
+#include "core/sharing.h"
+#include "core/threshold.h"
+#include "util/rng.h"
+
+namespace bufq {
+namespace {
+
+constexpr std::size_t kFlows = 4;
+constexpr auto kCapacity = ByteSize::bytes(40'000);
+
+struct ManagerCase {
+  std::string name;
+  std::function<std::unique_ptr<BufferManager>()> make;
+};
+
+std::vector<ManagerCase> manager_cases() {
+  const std::vector<std::int64_t> thresholds{12'000, 12'000, 8'000, 8'000};
+  return {
+      {"tail_drop",
+       [] { return std::make_unique<TailDropManager>(kCapacity, kFlows); }},
+      {"threshold",
+       [=] { return std::make_unique<ThresholdManager>(kCapacity, thresholds); }},
+      {"sharing",
+       [=] {
+         return std::make_unique<BufferSharingManager>(kCapacity, thresholds,
+                                                       ByteSize::bytes(5'000));
+       }},
+      {"selective_sharing",
+       [=] {
+         return std::make_unique<SelectiveSharingManager>(
+             kCapacity, thresholds,
+             std::vector<SharingClass>{SharingClass::kAdaptive, SharingClass::kBlocked,
+                                       SharingClass::kReserved, SharingClass::kAdaptive},
+             ByteSize::bytes(5'000));
+       }},
+      {"dynamic_threshold",
+       [] { return std::make_unique<DynamicThresholdManager>(kCapacity, kFlows, 1.0); }},
+      {"red",
+       [] {
+         return std::make_unique<RedManager>(
+             kCapacity, kFlows,
+             RedParams{.weight = 0.02, .min_threshold = 10'000, .max_threshold = 30'000,
+                       .max_p = 0.1},
+             Rng{77});
+       }},
+      {"fred",
+       [] {
+         return std::make_unique<FredManager>(
+             kCapacity, kFlows,
+             FredParams{.red = RedParams{.weight = 0.02, .min_threshold = 10'000,
+                                         .max_threshold = 30'000, .max_p = 0.1},
+                        .min_q = 1'000,
+                        .strike_limit = 1},
+             Rng{78});
+       }},
+  };
+}
+
+class ManagerFuzzTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ManagerFuzzTest, InvariantsSurviveRandomChurn) {
+  const auto cases = manager_cases();
+  const auto& mgr_case = cases[GetParam()];
+  const auto mgr = mgr_case.make();
+  Rng rng{GetParam() * 1000 + 17};
+
+  // Outstanding admitted chunks per flow, so releases are always legal.
+  std::array<std::deque<std::int64_t>, kFlows> outstanding;
+  std::array<std::int64_t, kFlows> expected{};
+
+  auto check_invariants = [&] {
+    std::int64_t sum = 0;
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      const auto q = mgr->occupancy(static_cast<FlowId>(f));
+      ASSERT_GE(q, 0);
+      ASSERT_EQ(q, expected[f]) << mgr_case.name << " flow " << f;
+      sum += q;
+    }
+    ASSERT_EQ(mgr->total_occupancy(), sum);
+    ASSERT_LE(sum, mgr->capacity().count());
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const auto flow = static_cast<std::size_t>(rng.uniform_u64(kFlows));
+    const bool admit = rng.bernoulli(0.55);
+    if (admit) {
+      const std::int64_t bytes = 100 + static_cast<std::int64_t>(rng.uniform_u64(900));
+      const auto before_total = mgr->total_occupancy();
+      const auto before_flow = mgr->occupancy(static_cast<FlowId>(flow));
+      if (mgr->try_admit(static_cast<FlowId>(flow), bytes, Time::zero())) {
+        outstanding[flow].push_back(bytes);
+        expected[flow] += bytes;
+      } else {
+        // Refusal must be side-effect free on the accounting.
+        ASSERT_EQ(mgr->total_occupancy(), before_total) << mgr_case.name;
+        ASSERT_EQ(mgr->occupancy(static_cast<FlowId>(flow)), before_flow)
+            << mgr_case.name;
+      }
+    } else if (!outstanding[flow].empty()) {
+      const std::int64_t bytes = outstanding[flow].front();
+      outstanding[flow].pop_front();
+      mgr->release(static_cast<FlowId>(flow), bytes, Time::zero());
+      expected[flow] -= bytes;
+    }
+    if (step % 64 == 0) check_invariants();
+  }
+
+  // Drain everything; the manager must come back to a clean state that
+  // admits again.
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    while (!outstanding[f].empty()) {
+      mgr->release(static_cast<FlowId>(f), outstanding[f].front(), Time::zero());
+      expected[f] -= outstanding[f].front();
+      outstanding[f].pop_front();
+    }
+  }
+  check_invariants();
+  EXPECT_EQ(mgr->total_occupancy(), 0);
+  // RED's EWMA may keep refusing briefly; every manager must admit within
+  // a bounded number of attempts once empty.
+  bool admitted = false;
+  for (int attempt = 0; attempt < 1'000 && !admitted; ++attempt) {
+    admitted = mgr->try_admit(0, 500, Time::zero());
+    if (admitted) mgr->release(0, 500, Time::zero());
+  }
+  EXPECT_TRUE(admitted) << mgr_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, ManagerFuzzTest,
+                         ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& test_param) {
+                           return manager_cases()[test_param.param].name;
+                         });
+
+}  // namespace
+}  // namespace bufq

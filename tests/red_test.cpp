@@ -1,0 +1,166 @@
+#include "core/red.h"
+
+#include <gtest/gtest.h>
+
+namespace bufq {
+namespace {
+
+constexpr Time kNow = Time::zero();
+
+RedParams small_red() {
+  return RedParams{
+      .weight = 0.2,  // fast EWMA so unit tests converge quickly
+      .min_threshold = 5'000,
+      .max_threshold = 15'000,
+      .max_p = 0.1,
+  };
+}
+
+TEST(RedManagerTest, AdmitsEverythingWhileAverageIsLow) {
+  RedManager mgr{ByteSize::bytes(100'000), 2, small_red(), Rng{1}};
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(mgr.try_admit(0, 500, kNow)) << i;
+  }
+  EXPECT_EQ(mgr.total_occupancy(), 4'500);
+}
+
+TEST(RedManagerTest, DropsProbabilisticallyBetweenThresholds) {
+  RedManager mgr{ByteSize::bytes(100'000), 2, small_red(), Rng{2}};
+  int admitted = 0, offered = 0;
+  // Hold the queue around 10 KB (mid-band): admit and never release.
+  while (mgr.total_occupancy() < 10'000) {
+    (void)mgr.try_admit(0, 500, kNow);
+  }
+  // Now alternate admit/release to keep the average in the band.
+  for (int i = 0; i < 2'000; ++i) {
+    ++offered;
+    if (mgr.try_admit(0, 500, kNow)) {
+      ++admitted;
+      mgr.release(0, 500, kNow);
+    }
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_LT(admitted, offered) << "mid-band RED should drop occasionally";
+}
+
+TEST(RedManagerTest, DropsEverythingAboveMaxThreshold) {
+  RedManager mgr{ByteSize::bytes(100'000), 2, small_red(), Rng{3}};
+  // Keep offering (refusals along the way are fine) until the EWMA is
+  // past max_th.
+  for (int i = 0; i < 500 && mgr.average_queue() < 15'000.0; ++i) {
+    (void)mgr.try_admit(0, 500, kNow);
+  }
+  ASSERT_GE(mgr.average_queue(), 15'000.0);
+  EXPECT_FALSE(mgr.try_admit(1, 500, kNow));
+}
+
+TEST(RedManagerTest, PhysicalCapacityAlwaysBinds) {
+  RedManager mgr{ByteSize::bytes(2'000),
+                 1,
+                 RedParams{.weight = 0.001, .min_threshold = 100'000,
+                           .max_threshold = 200'000, .max_p = 0.1},
+                 Rng{4}};
+  ASSERT_TRUE(mgr.try_admit(0, 2'000, kNow));
+  EXPECT_FALSE(mgr.try_admit(0, 1, kNow));
+}
+
+TEST(RedManagerTest, NoFlowIsolation) {
+  // RED is flow-blind: one flow's backlog raises everyone's drop rate.
+  RedManager mgr{ByteSize::bytes(100'000), 2, small_red(), Rng{5}};
+  for (int i = 0; i < 500 && mgr.average_queue() < 15'000.0; ++i) {
+    (void)mgr.try_admit(0, 500, kNow);
+  }
+  ASSERT_GE(mgr.average_queue(), 15'000.0);
+  // Flow 1, with zero backlog of its own, is still refused.
+  EXPECT_FALSE(mgr.try_admit(1, 500, kNow));
+  EXPECT_EQ(mgr.occupancy(1), 0);
+}
+
+TEST(RedManagerTest, RecoversWhenQueueDrains) {
+  RedManager mgr{ByteSize::bytes(100'000), 1, small_red(), Rng{6}};
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  const auto backlog = mgr.total_occupancy();
+  mgr.release(0, backlog, kNow);
+  // The EWMA needs some admissions to decay; after it does, traffic flows.
+  int eventually_admitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (mgr.try_admit(0, 500, kNow)) {
+      ++eventually_admitted;
+      mgr.release(0, 500, kNow);
+    }
+  }
+  EXPECT_GT(eventually_admitted, 0);
+}
+
+// ------------------------------------------------------------------ FRED
+
+FredParams small_fred() {
+  return FredParams{
+      .red = RedParams{.weight = 0.2, .min_threshold = 20'000,
+                       .max_threshold = 60'000, .max_p = 0.05},
+      .min_q = 1'000,
+      .strike_limit = 1,
+  };
+}
+
+TEST(FredManagerTest, ProtectsLowRateFlowBelowMinq) {
+  FredManager mgr{ByteSize::bytes(100'000), 2, small_fred(), Rng{7}};
+  // Aggressive flow 0 builds a large backlog.
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  // Flow 1 below its minq allowance is still admitted (if space exists).
+  EXPECT_TRUE(mgr.try_admit(1, 500, kNow));
+  EXPECT_TRUE(mgr.try_admit(1, 500, kNow));
+}
+
+TEST(FredManagerTest, CapsFlowNearFairShare) {
+  FredManager mgr{ByteSize::bytes(100'000), 4, small_fred(), Rng{8}};
+  // Give three flows a modest backlog to set the fair share.
+  for (FlowId f = 1; f < 4; ++f) {
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(mgr.try_admit(f, 500, kNow));
+  }
+  // Flow 0 cannot push far beyond 2x the average per-flow backlog.
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  EXPECT_LT(mgr.occupancy(0), 20'000);
+}
+
+TEST(FredManagerTest, StrikesPinRepeatOffendersToFairShare) {
+  FredManager mgr{ByteSize::bytes(100'000), 3, small_fred(), Rng{9}};
+  // Two well-behaved flows set the scene; flow 0 pushes into its 2x cap
+  // and earns a strike.
+  ASSERT_TRUE(mgr.try_admit(1, 500, kNow));
+  ASSERT_TRUE(mgr.try_admit(2, 500, kNow));
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  EXPECT_GE(mgr.strikes(0), 1);
+  const auto q_cap = mgr.occupancy(0);
+  // After fully draining, the struck flow may only rebuild to the fair
+  // share, not back to its old 2x cap.
+  mgr.release(0, q_cap, kNow);
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  EXPECT_LT(mgr.occupancy(0), q_cap);
+  EXPECT_GT(mgr.occupancy(0), 0);
+}
+
+TEST(FredManagerTest, ActiveFlowCountTracksBacklogs) {
+  FredManager mgr{ByteSize::bytes(100'000), 3, small_fred(), Rng{10}};
+  ASSERT_TRUE(mgr.try_admit(0, 500, kNow));
+  ASSERT_TRUE(mgr.try_admit(1, 500, kNow));
+  const double share_two_active = mgr.fair_share();
+  mgr.release(0, 500, kNow);
+  const double share_one_active = mgr.fair_share();
+  // Fewer active flows -> same total spread over fewer flows.
+  EXPECT_GE(share_one_active, share_two_active - 1e-9);
+}
+
+TEST(FredManagerTest, PhysicalCapacityBinds) {
+  FredManager mgr{ByteSize::bytes(1'000), 1, small_fred(), Rng{11}};
+  ASSERT_TRUE(mgr.try_admit(0, 800, kNow));
+  EXPECT_FALSE(mgr.try_admit(0, 300, kNow));
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,58 @@
+// Golden determinism regression: a fixed-seed Table 1 run must reproduce
+// these exact byte counters on every platform and after every refactor.
+// The pipeline is fully deterministic (integer-nanosecond event times,
+// stable tie-breaking, own RNG and distribution transforms), so any
+// change here signals an intentional behavior change — update the goldens
+// deliberately and note it in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+
+namespace bufq {
+namespace {
+
+ExperimentResult golden_run() {
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.buffer = ByteSize::megabytes(1.0);
+  config.flows = table1_flows();
+  config.scheme.scheduler = SchedulerKind::kFifo;
+  config.scheme.manager = ManagerKind::kThreshold;
+  config.warmup = Time::seconds(1);
+  config.duration = Time::seconds(4);
+  config.seed = 12345;
+  return run_experiment(config);
+}
+
+TEST(RegressionTest, GoldenDeliveredBytes) {
+  const auto result = golden_run();
+  const std::int64_t expected[] = {889'500,   778'000,   566'500,
+                                   3'932'500, 3'251'500, 2'677'500,
+                                   1'708'500, 580'500,   5'779'000};
+  ASSERT_EQ(result.per_flow.size(), 9u);
+  for (std::size_t f = 0; f < 9; ++f) {
+    EXPECT_EQ(result.per_flow[f].delivered_bytes, expected[f]) << "flow " << f;
+  }
+}
+
+TEST(RegressionTest, GoldenDroppedBytes) {
+  const auto result = golden_run();
+  const std::int64_t expected[] = {0, 0, 0, 0, 0, 0, 1'326'000, 353'000, 1'678'500};
+  for (std::size_t f = 0; f < 9; ++f) {
+    EXPECT_EQ(result.per_flow[f].dropped_bytes, expected[f]) << "flow " << f;
+  }
+}
+
+TEST(RegressionTest, GoldenOfferedBytes) {
+  const auto result = golden_run();
+  const std::int64_t expected[] = {896'500,   790'500,   578'500,
+                                   3'959'500, 3'282'000, 2'704'500,
+                                   3'034'500, 933'500,   7'528'000};
+  for (std::size_t f = 0; f < 9; ++f) {
+    EXPECT_EQ(result.per_flow[f].offered_bytes, expected[f]) << "flow " << f;
+  }
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bufq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformU64Unbiased) {
+  Rng rng{17};
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n * 0.01);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0.0;
+  const int n = 200'000;
+  const double mean = 3.5;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng{23};
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialVarianceMatches) {
+  // Var of exp(mean) is mean^2.
+  Rng rng{29};
+  const double mean = 2.0;
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(mean);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(var, mean * mean, mean * mean * 0.05);
+}
+
+TEST(RngTest, ExponentialTimeMatchesMean) {
+  Rng rng{31};
+  const Time mean = Time::milliseconds(50);
+  double sum_s = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum_s += rng.exponential_time(mean).to_seconds();
+  EXPECT_NEAR(sum_s / n, 0.050, 0.002);
+}
+
+TEST(RngTest, ParetoMeanMatches) {
+  Rng rng{41};
+  const double mean = 2.0;
+  double sum = 0.0;
+  const int n = 2'000'000;  // heavy tail converges slowly
+  for (int i = 0; i < n; ++i) sum += rng.pareto(mean, 2.5);
+  EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST(RngTest, ParetoHasMinimumAtScale) {
+  Rng rng{43};
+  const double mean = 3.0;
+  const double shape = 1.5;
+  const double x_m = mean * (shape - 1.0) / shape;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GE(rng.pareto(mean, shape), x_m - 1e-12);
+  }
+}
+
+TEST(RngTest, ParetoHeavierTailThanExponential) {
+  // P(X > 10 * mean) is far larger for Pareto(1.5) than for exponential.
+  Rng rng{47};
+  const double mean = 1.0;
+  int pareto_exceed = 0, exp_exceed = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(mean, 1.5) > 10.0) ++pareto_exceed;
+    if (rng.exponential(mean) > 10.0) ++exp_exceed;
+  }
+  EXPECT_GT(pareto_exceed, 10 * std::max(exp_exceed, 1));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng{37};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base{99};
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = Rng{99}.fork(1);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  Rng f1_b = Rng{99}.fork(1);
+  EXPECT_EQ(f1_again.next_u64(), f1_b.next_u64());
+}
+
+TEST(RngTest, AdjacentForksDecorrelated) {
+  Rng base{5};
+  Rng a = base.fork(0);
+  Rng b = base.fork(1);
+  // Crude independence check: matching bits should be ~50%.
+  int matching_bits = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t x = a.next_u64() ^ b.next_u64();
+    matching_bits += 64 - __builtin_popcountll(x);
+  }
+  EXPECT_NEAR(matching_bits / (64.0 * 64.0), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace bufq

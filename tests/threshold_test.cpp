@@ -1,0 +1,126 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace bufq {
+namespace {
+
+constexpr Time kNow = Time::zero();
+const Rate kLink = Rate::megabits_per_second(48.0);
+
+std::vector<FlowSpec> two_flows() {
+  // Flow 0: rho 12 Mb/s (quarter of the link), sigma 10 KB.
+  // Flow 1: rho 24 Mb/s (half the link), sigma 20 KB.
+  return {
+      FlowSpec{Rate::megabits_per_second(12.0), ByteSize::kilobytes(10.0)},
+      FlowSpec{Rate::megabits_per_second(24.0), ByteSize::kilobytes(20.0)},
+  };
+}
+
+TEST(ComputeThresholdsTest, MatchesProposition2Formula) {
+  // B = 100 KB: T_0 = 10K + 100K/4 = 35K, T_1 = 20K + 50K = 70K.
+  const auto t = compute_thresholds(two_flows(), ByteSize::kilobytes(100.0), kLink,
+                                    ThresholdScaling::kExact);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 35'000);
+  EXPECT_EQ(t[1], 70'000);
+}
+
+TEST(ComputeThresholdsTest, ScaleToFillExpandsSlack) {
+  // Sum of exact thresholds is 105 KB < B = 210 KB, so scaling doubles
+  // every threshold.
+  const auto t = compute_thresholds(two_flows(), ByteSize::kilobytes(210.0), kLink,
+                                    ThresholdScaling::kScaleToFill);
+  ASSERT_EQ(t.size(), 2u);
+  // Exact: T0 = 10K + 210K/4 = 62.5K; T1 = 20K + 105K = 125K; sum 187.5K.
+  // Scale = 210/187.5 = 1.12.
+  EXPECT_EQ(t[0], 70'000);
+  EXPECT_EQ(t[1], 140'000);
+}
+
+TEST(ComputeThresholdsTest, NoScalingWhenOverbooked) {
+  // Tiny buffer: thresholds exceed B; scale-to-fill must not shrink them.
+  const auto exact = compute_thresholds(two_flows(), ByteSize::kilobytes(10.0), kLink,
+                                        ThresholdScaling::kExact);
+  const auto scaled = compute_thresholds(two_flows(), ByteSize::kilobytes(10.0), kLink,
+                                         ThresholdScaling::kScaleToFill);
+  EXPECT_EQ(exact, scaled);
+}
+
+TEST(ComputeThresholdsTest, ZeroSigmaFlowGetsRateShareOnly) {
+  // Proposition 1 special case: sigma = 0.
+  const std::vector<FlowSpec> flows{
+      FlowSpec{Rate::megabits_per_second(12.0), ByteSize::zero()}};
+  const auto t = compute_thresholds(flows, ByteSize::kilobytes(100.0), kLink,
+                                    ThresholdScaling::kExact);
+  EXPECT_EQ(t[0], 25'000);  // B * rho / R = 100K / 4
+}
+
+TEST(ThresholdManagerTest, EnforcesPerFlowThreshold) {
+  ThresholdManager mgr{ByteSize::kilobytes(100.0), kLink, two_flows(),
+                       ThresholdScaling::kExact};
+  // Flow 0's threshold is 35 KB = 70 packets of 500B.
+  for (int i = 0; i < 70; ++i) ASSERT_TRUE(mgr.try_admit(0, 500, kNow)) << i;
+  EXPECT_FALSE(mgr.try_admit(0, 500, kNow));
+  EXPECT_EQ(mgr.occupancy(0), 35'000);
+  // Flow 1 is unaffected.
+  EXPECT_TRUE(mgr.try_admit(1, 500, kNow));
+}
+
+TEST(ThresholdManagerTest, ProtectsAgainstGreedyFlow) {
+  // The paper's core claim at the manager level: a greedy flow cannot
+  // deny a conformant flow its reserved share — provided the buffer meets
+  // the eq. 9 minimum, here R*sigma/(R-rho) = 48*30K/12 = 120 KB (the
+  // thresholds then exactly partition the buffer: 40K + 80K).
+  ThresholdManager mgr{ByteSize::kilobytes(120.0), kLink, two_flows(),
+                       ThresholdScaling::kExact};
+  // Greedy flow 1 pushes as much as it can.
+  while (mgr.try_admit(1, 500, kNow)) {
+  }
+  EXPECT_EQ(mgr.occupancy(1), 80'000);  // capped at its threshold
+  // Flow 0 still has its full reservation available.
+  for (int i = 0; i < 80; ++i) ASSERT_TRUE(mgr.try_admit(0, 500, kNow)) << i;
+  EXPECT_FALSE(mgr.try_admit(0, 500, kNow));
+}
+
+TEST(ThresholdManagerTest, TotalCapacityStillBinds) {
+  // Overbooked thresholds: the physical buffer is the final arbiter.
+  const std::vector<FlowSpec> flows{
+      FlowSpec{Rate::megabits_per_second(24.0), ByteSize::kilobytes(50.0)},
+      FlowSpec{Rate::megabits_per_second(24.0), ByteSize::kilobytes(50.0)},
+  };
+  ThresholdManager mgr{ByteSize::kilobytes(100.0), kLink, flows, ThresholdScaling::kExact};
+  // Each threshold is 50K + 50K = 100K; sum 200K > B = 100K.
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  EXPECT_EQ(mgr.occupancy(0), 100'000);
+  EXPECT_FALSE(mgr.try_admit(1, 500, kNow)) << "buffer physically full";
+}
+
+TEST(ThresholdManagerTest, ReleaseRestoresHeadroomForFlow) {
+  ThresholdManager mgr{ByteSize::kilobytes(100.0), kLink, two_flows(),
+                       ThresholdScaling::kExact};
+  while (mgr.try_admit(0, 500, kNow)) {
+  }
+  mgr.release(0, 500, kNow);
+  EXPECT_TRUE(mgr.try_admit(0, 500, kNow));
+}
+
+TEST(ThresholdManagerTest, ExplicitThresholdConstructor) {
+  ThresholdManager mgr{ByteSize::bytes(10'000), std::vector<std::int64_t>{3'000, 7'000}};
+  EXPECT_EQ(mgr.threshold(0), 3'000);
+  EXPECT_EQ(mgr.threshold(1), 7'000);
+  EXPECT_TRUE(mgr.try_admit(0, 3'000, kNow));
+  EXPECT_FALSE(mgr.try_admit(0, 1, kNow));
+  EXPECT_TRUE(mgr.try_admit(1, 7'000, kNow));
+}
+
+TEST(ThresholdManagerTest, VariablePacketSizes) {
+  ThresholdManager mgr{ByteSize::bytes(10'000), std::vector<std::int64_t>{5'000, 5'000}};
+  EXPECT_TRUE(mgr.try_admit(0, 4'999, kNow));
+  EXPECT_TRUE(mgr.try_admit(0, 1, kNow));
+  EXPECT_FALSE(mgr.try_admit(0, 1, kNow));
+}
+
+}  // namespace
+}  // namespace bufq

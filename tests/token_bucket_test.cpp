@@ -1,0 +1,100 @@
+#include "traffic/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace bufq {
+namespace {
+
+constexpr auto kDepth = ByteSize::bytes(10'000);
+const auto kRate = Rate::megabits_per_second(8.0);  // 1 MB/s
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket tb{kDepth, kRate};
+  EXPECT_DOUBLE_EQ(tb.tokens_at(Time::zero()), 10'000.0);
+}
+
+TEST(TokenBucketTest, FullBurstConformsImmediately) {
+  TokenBucket tb{kDepth, kRate};
+  EXPECT_TRUE(tb.conforms(10'000, Time::zero()));
+  EXPECT_FALSE(tb.conforms(10'001, Time::zero()));
+}
+
+TEST(TokenBucketTest, ConsumeReducesTokens) {
+  TokenBucket tb{kDepth, kRate};
+  tb.consume(4'000, Time::zero());
+  EXPECT_DOUBLE_EQ(tb.tokens_at(Time::zero()), 6'000.0);
+}
+
+TEST(TokenBucketTest, RefillsAtTokenRate) {
+  TokenBucket tb{kDepth, kRate};
+  tb.consume(10'000, Time::zero());
+  // 1 MB/s: 1ms refills 1000 bytes.
+  EXPECT_NEAR(tb.tokens_at(Time::milliseconds(1)), 1'000.0, 1e-6);
+  EXPECT_NEAR(tb.tokens_at(Time::milliseconds(5)), 5'000.0, 1e-6);
+}
+
+TEST(TokenBucketTest, RefillCapsAtDepth) {
+  TokenBucket tb{kDepth, kRate};
+  tb.consume(1'000, Time::zero());
+  EXPECT_DOUBLE_EQ(tb.tokens_at(Time::seconds(100)), 10'000.0);
+}
+
+TEST(TokenBucketTest, TimeUntilConformantZeroWhenAvailable) {
+  TokenBucket tb{kDepth, kRate};
+  EXPECT_EQ(tb.time_until_conformant(5'000, Time::zero()), Time::zero());
+}
+
+TEST(TokenBucketTest, TimeUntilConformantMatchesDeficit) {
+  TokenBucket tb{kDepth, kRate};
+  tb.consume(10'000, Time::zero());
+  // Need 500 bytes at 1 MB/s: 0.5ms.
+  const Time wait = tb.time_until_conformant(500, Time::zero());
+  EXPECT_EQ(wait, Time::microseconds(500));
+  // And indeed it conforms then.
+  EXPECT_TRUE(tb.conforms(500, wait));
+}
+
+TEST(TokenBucketTest, SequenceOfPacketsAtTokenRateConforms) {
+  TokenBucket tb{ByteSize::bytes(500), kRate};  // depth = one packet
+  // 500-byte packets every 0.5ms at exactly 1 MB/s.
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = Time::microseconds(500) * i;
+    ASSERT_TRUE(tb.conforms(500, t)) << "packet " << i;
+    tb.consume(500, t);
+  }
+}
+
+TEST(TokenBucketTest, SequenceAboveTokenRateViolates) {
+  TokenBucket tb{ByteSize::bytes(500), kRate};
+  tb.consume(500, Time::zero());
+  // Next packet arrives after only 0.25ms: only 250 bytes refilled.
+  EXPECT_FALSE(tb.conforms(500, Time::microseconds(250)));
+}
+
+TEST(TokenBucketTest, ZeroRateBucketNeverRefills) {
+  TokenBucket tb{kDepth, Rate::zero()};
+  tb.consume(10'000, Time::zero());
+  EXPECT_DOUBLE_EQ(tb.tokens_at(Time::seconds(1000)), 0.0);
+  EXPECT_FALSE(tb.conforms(1, Time::seconds(1000)));
+}
+
+TEST(TokenBucketTest, CumulativeArrivalBoundHolds) {
+  // Property: total consumed by time t while staying conformant is
+  // bounded by sigma + rho * t (eq. 2 of the paper).
+  TokenBucket tb{kDepth, kRate};
+  double consumed = 0.0;
+  // Greedy strategy: whenever at least one byte conforms, take all tokens.
+  for (int ms = 0; ms <= 1000; ++ms) {
+    const Time t = Time::milliseconds(ms);
+    const auto available = static_cast<std::int64_t>(tb.tokens_at(t));
+    if (available > 0 && tb.conforms(available, t)) {
+      tb.consume(available, t);
+      consumed += static_cast<double>(available);
+    }
+    const double bound = 10'000.0 + 1e6 * t.to_seconds();
+    ASSERT_LE(consumed, bound + 1.0) << "at " << ms << "ms";
+  }
+}
+
+}  // namespace
+}  // namespace bufq

@@ -1,0 +1,106 @@
+#include "expt/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+
+namespace bufq {
+namespace {
+
+TEST(WorkloadsTest, LinkRateIsPaper48Mbps) {
+  EXPECT_DOUBLE_EQ(paper_link_rate().mbps(), 48.0);
+}
+
+TEST(WorkloadsTest, Table1HasNineFlowsWithPaperParameters) {
+  const auto flows = table1_flows();
+  ASSERT_EQ(flows.size(), 9u);
+  // Spot-check each rank against Table 1.
+  EXPECT_DOUBLE_EQ(flows[0].peak_rate.mbps(), 16.0);
+  EXPECT_DOUBLE_EQ(flows[0].avg_rate.mbps(), 2.0);
+  EXPECT_EQ(flows[0].bucket, ByteSize::kilobytes(50.0));
+  EXPECT_DOUBLE_EQ(flows[0].token_rate.mbps(), 2.0);
+  EXPECT_DOUBLE_EQ(flows[3].peak_rate.mbps(), 40.0);
+  EXPECT_DOUBLE_EQ(flows[3].avg_rate.mbps(), 8.0);
+  EXPECT_EQ(flows[3].bucket, ByteSize::kilobytes(100.0));
+  EXPECT_DOUBLE_EQ(flows[6].token_rate.mbps(), 0.4);
+  EXPECT_DOUBLE_EQ(flows[6].avg_rate.mbps(), 4.0);
+  EXPECT_DOUBLE_EQ(flows[8].avg_rate.mbps(), 16.0);
+  EXPECT_DOUBLE_EQ(flows[8].token_rate.mbps(), 2.0);
+}
+
+TEST(WorkloadsTest, Table1ReservationIs32_8Mbps) {
+  // The paper: aggregate reserved rate 32.8 Mb/s, ~68% of the link.
+  const auto flows = table1_flows();
+  double sum = 0.0;
+  for (const auto& f : flows) sum += f.token_rate.mbps();
+  EXPECT_NEAR(sum, 32.8, 1e-9);
+  EXPECT_NEAR(sum / paper_link_rate().mbps(), 0.68, 0.01);
+}
+
+TEST(WorkloadsTest, Table1OfferedLoadExceedsLink) {
+  // "the mean offered load is a little over 100% of the output link".
+  const auto flows = table1_flows();
+  double sum = 0.0;
+  for (const auto& f : flows) sum += f.avg_rate.mbps();
+  EXPECT_GT(sum, 48.0);
+  EXPECT_LT(sum, 48.0 * 1.2);
+}
+
+TEST(WorkloadsTest, Table1ConformanceFlags) {
+  const auto flows = table1_flows();
+  for (FlowId f : table1_conformant_flows()) {
+    EXPECT_TRUE(flows[static_cast<std::size_t>(f)].regulated);
+    EXPECT_EQ(flows[static_cast<std::size_t>(f)].mean_burst,
+              flows[static_cast<std::size_t>(f)].bucket);
+  }
+  for (FlowId f = 6; f < 9; ++f) {
+    EXPECT_FALSE(flows[static_cast<std::size_t>(f)].regulated);
+    // Aggressive flows burst 5x their declared bucket.
+    EXPECT_EQ(flows[static_cast<std::size_t>(f)].mean_burst.count(),
+              5 * flows[static_cast<std::size_t>(f)].bucket.count());
+  }
+}
+
+TEST(WorkloadsTest, Table2HasThirtyFlowsWithPaperParameters) {
+  const auto flows = table2_flows();
+  ASSERT_EQ(flows.size(), 30u);
+  EXPECT_DOUBLE_EQ(flows[0].peak_rate.mbps(), 8.0);
+  EXPECT_DOUBLE_EQ(flows[0].token_rate.mbps(), 0.6);
+  EXPECT_EQ(flows[0].bucket, ByteSize::kilobytes(15.0));
+  EXPECT_DOUBLE_EQ(flows[10].peak_rate.mbps(), 24.0);
+  EXPECT_DOUBLE_EQ(flows[10].token_rate.mbps(), 2.4);
+  EXPECT_DOUBLE_EQ(flows[20].token_rate.mbps(), 0.3);
+  EXPECT_DOUBLE_EQ(flows[20].avg_rate.mbps(), 2.4);
+  EXPECT_EQ(flows[20].mean_burst, ByteSize::kilobytes(500.0));
+}
+
+TEST(WorkloadsTest, Table2AggressiveFlowsOversubscribe8x) {
+  const auto flows = table2_flows();
+  for (FlowId f = 20; f < 30; ++f) {
+    const auto& p = flows[static_cast<std::size_t>(f)];
+    EXPECT_NEAR(p.avg_rate / p.token_rate, 8.0, 1e-9);
+    EXPECT_FALSE(p.regulated);
+  }
+}
+
+TEST(WorkloadsTest, GroupingsCoverAllFlowsOnce) {
+  for (const auto& [groups, n] :
+       {std::pair{case1_groups(), 9}, std::pair{case2_groups(), 30}}) {
+    std::vector<int> seen(static_cast<std::size_t>(n), 0);
+    for (const auto& g : groups) {
+      for (FlowId f : g) ++seen[static_cast<std::size_t>(f)];
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(WorkloadsTest, FlowSpecsExtractEnvelope) {
+  const auto specs = flow_specs(table1_flows());
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_DOUBLE_EQ(specs[0].rho.mbps(), 2.0);
+  EXPECT_EQ(specs[0].sigma, ByteSize::kilobytes(50.0));
+  EXPECT_DOUBLE_EQ(specs[6].rho.mbps(), 0.4);
+}
+
+}  // namespace
+}  // namespace bufq
