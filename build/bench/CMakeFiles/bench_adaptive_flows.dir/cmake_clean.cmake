@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_flows.dir/bench_adaptive_flows.cpp.o"
+  "CMakeFiles/bench_adaptive_flows.dir/bench_adaptive_flows.cpp.o.d"
+  "bench_adaptive_flows"
+  "bench_adaptive_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_buffer_requirements.cpp" "bench/CMakeFiles/bench_buffer_requirements.dir/bench_buffer_requirements.cpp.o" "gcc" "bench/CMakeFiles/bench_buffer_requirements.dir/bench_buffer_requirements.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bufq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expt/CMakeFiles/bufq_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bufq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bufq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/bufq_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bufq_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bufq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bufq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bufq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

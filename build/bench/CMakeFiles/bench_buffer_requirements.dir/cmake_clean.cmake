@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_requirements.dir/bench_buffer_requirements.cpp.o"
+  "CMakeFiles/bench_buffer_requirements.dir/bench_buffer_requirements.cpp.o.d"
+  "bench_buffer_requirements"
+  "bench_buffer_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example1_convergence.dir/bench_example1_convergence.cpp.o"
+  "CMakeFiles/bench_example1_convergence.dir/bench_example1_convergence.cpp.o.d"
+  "bench_example1_convergence"
+  "bench_example1_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

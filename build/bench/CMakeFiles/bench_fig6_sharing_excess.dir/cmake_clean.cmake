@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sharing_excess.dir/bench_fig6_sharing_excess.cpp.o"
+  "CMakeFiles/bench_fig6_sharing_excess.dir/bench_fig6_sharing_excess.cpp.o.d"
+  "bench_fig6_sharing_excess"
+  "bench_fig6_sharing_excess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sharing_excess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

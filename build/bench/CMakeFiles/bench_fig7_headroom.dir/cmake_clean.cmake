@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_headroom.dir/bench_fig7_headroom.cpp.o"
+  "CMakeFiles/bench_fig7_headroom.dir/bench_fig7_headroom.cpp.o.d"
+  "bench_fig7_headroom"
+  "bench_fig7_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

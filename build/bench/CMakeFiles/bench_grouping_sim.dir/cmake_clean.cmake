@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grouping_sim.dir/bench_grouping_sim.cpp.o"
+  "CMakeFiles/bench_grouping_sim.dir/bench_grouping_sim.cpp.o.d"
+  "bench_grouping_sim"
+  "bench_grouping_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

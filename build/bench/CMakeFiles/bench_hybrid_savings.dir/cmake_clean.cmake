@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_savings.dir/bench_hybrid_savings.cpp.o"
+  "CMakeFiles/bench_hybrid_savings.dir/bench_hybrid_savings.cpp.o.d"
+  "bench_hybrid_savings"
+  "bench_hybrid_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_bench_common.dir/common.cpp.o"
+  "CMakeFiles/bufq_bench_common.dir/common.cpp.o.d"
+  "libbufq_bench_common.a"
+  "libbufq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sharing.dir/adaptive_sharing.cpp.o"
+  "CMakeFiles/adaptive_sharing.dir/adaptive_sharing.cpp.o.d"
+  "adaptive_sharing"
+  "adaptive_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

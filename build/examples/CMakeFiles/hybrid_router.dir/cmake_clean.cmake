@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_router.dir/hybrid_router.cpp.o"
+  "CMakeFiles/hybrid_router.dir/hybrid_router.cpp.o.d"
+  "hybrid_router"
+  "hybrid_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

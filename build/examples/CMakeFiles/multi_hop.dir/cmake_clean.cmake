@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_hop.dir/multi_hop.cpp.o"
+  "CMakeFiles/multi_hop.dir/multi_hop.cpp.o.d"
+  "multi_hop"
+  "multi_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_protection.dir/sla_protection.cpp.o"
+  "CMakeFiles/sla_protection.dir/sla_protection.cpp.o.d"
+  "sla_protection"
+  "sla_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

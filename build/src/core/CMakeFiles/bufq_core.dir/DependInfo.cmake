@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/bufq_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/buffer_manager.cpp" "src/core/CMakeFiles/bufq_core.dir/buffer_manager.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/core/composite.cpp" "src/core/CMakeFiles/bufq_core.dir/composite.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/composite.cpp.o.d"
+  "/root/repo/src/core/dynamic_threshold.cpp" "src/core/CMakeFiles/bufq_core.dir/dynamic_threshold.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/dynamic_threshold.cpp.o.d"
+  "/root/repo/src/core/epd.cpp" "src/core/CMakeFiles/bufq_core.dir/epd.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/epd.cpp.o.d"
+  "/root/repo/src/core/example1.cpp" "src/core/CMakeFiles/bufq_core.dir/example1.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/example1.cpp.o.d"
+  "/root/repo/src/core/flow_spec.cpp" "src/core/CMakeFiles/bufq_core.dir/flow_spec.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/flow_spec.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/bufq_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/hybrid_analysis.cpp" "src/core/CMakeFiles/bufq_core.dir/hybrid_analysis.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/hybrid_analysis.cpp.o.d"
+  "/root/repo/src/core/red.cpp" "src/core/CMakeFiles/bufq_core.dir/red.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/red.cpp.o.d"
+  "/root/repo/src/core/selective_sharing.cpp" "src/core/CMakeFiles/bufq_core.dir/selective_sharing.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/selective_sharing.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/core/CMakeFiles/bufq_core.dir/sharing.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/sharing.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/bufq_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/bufq_core.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bufq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bufq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_core.dir/analysis.cpp.o"
+  "CMakeFiles/bufq_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/buffer_manager.cpp.o"
+  "CMakeFiles/bufq_core.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/composite.cpp.o"
+  "CMakeFiles/bufq_core.dir/composite.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/dynamic_threshold.cpp.o"
+  "CMakeFiles/bufq_core.dir/dynamic_threshold.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/epd.cpp.o"
+  "CMakeFiles/bufq_core.dir/epd.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/example1.cpp.o"
+  "CMakeFiles/bufq_core.dir/example1.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/flow_spec.cpp.o"
+  "CMakeFiles/bufq_core.dir/flow_spec.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/grouping.cpp.o"
+  "CMakeFiles/bufq_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/hybrid_analysis.cpp.o"
+  "CMakeFiles/bufq_core.dir/hybrid_analysis.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/red.cpp.o"
+  "CMakeFiles/bufq_core.dir/red.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/selective_sharing.cpp.o"
+  "CMakeFiles/bufq_core.dir/selective_sharing.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/sharing.cpp.o"
+  "CMakeFiles/bufq_core.dir/sharing.cpp.o.d"
+  "CMakeFiles/bufq_core.dir/threshold.cpp.o"
+  "CMakeFiles/bufq_core.dir/threshold.cpp.o.d"
+  "libbufq_core.a"
+  "libbufq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

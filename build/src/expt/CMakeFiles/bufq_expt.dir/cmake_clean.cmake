@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_expt.dir/experiment.cpp.o"
+  "CMakeFiles/bufq_expt.dir/experiment.cpp.o.d"
+  "CMakeFiles/bufq_expt.dir/workloads.cpp.o"
+  "CMakeFiles/bufq_expt.dir/workloads.cpp.o.d"
+  "libbufq_expt.a"
+  "libbufq_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_fluid.dir/fluid_fifo.cpp.o"
+  "CMakeFiles/bufq_fluid.dir/fluid_fifo.cpp.o.d"
+  "libbufq_fluid.a"
+  "libbufq_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_net.dir/node.cpp.o"
+  "CMakeFiles/bufq_net.dir/node.cpp.o.d"
+  "libbufq_net.a"
+  "libbufq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_sched.dir/fifo.cpp.o"
+  "CMakeFiles/bufq_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/bufq_sched.dir/hybrid.cpp.o"
+  "CMakeFiles/bufq_sched.dir/hybrid.cpp.o.d"
+  "CMakeFiles/bufq_sched.dir/rpq.cpp.o"
+  "CMakeFiles/bufq_sched.dir/rpq.cpp.o.d"
+  "CMakeFiles/bufq_sched.dir/wfq.cpp.o"
+  "CMakeFiles/bufq_sched.dir/wfq.cpp.o.d"
+  "libbufq_sched.a"
+  "libbufq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

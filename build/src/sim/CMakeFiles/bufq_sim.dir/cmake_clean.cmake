@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_sim.dir/link.cpp.o"
+  "CMakeFiles/bufq_sim.dir/link.cpp.o.d"
+  "CMakeFiles/bufq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bufq_sim.dir/simulator.cpp.o.d"
+  "libbufq_sim.a"
+  "libbufq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

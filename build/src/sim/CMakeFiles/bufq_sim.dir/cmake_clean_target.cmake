@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbufq_sim.a"
+)

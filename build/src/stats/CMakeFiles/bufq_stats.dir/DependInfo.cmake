@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/collector.cpp" "src/stats/CMakeFiles/bufq_stats.dir/collector.cpp.o" "gcc" "src/stats/CMakeFiles/bufq_stats.dir/collector.cpp.o.d"
+  "/root/repo/src/stats/delay.cpp" "src/stats/CMakeFiles/bufq_stats.dir/delay.cpp.o" "gcc" "src/stats/CMakeFiles/bufq_stats.dir/delay.cpp.o.d"
+  "/root/repo/src/stats/replication.cpp" "src/stats/CMakeFiles/bufq_stats.dir/replication.cpp.o" "gcc" "src/stats/CMakeFiles/bufq_stats.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bufq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bufq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_stats.dir/collector.cpp.o"
+  "CMakeFiles/bufq_stats.dir/collector.cpp.o.d"
+  "CMakeFiles/bufq_stats.dir/delay.cpp.o"
+  "CMakeFiles/bufq_stats.dir/delay.cpp.o.d"
+  "CMakeFiles/bufq_stats.dir/replication.cpp.o"
+  "CMakeFiles/bufq_stats.dir/replication.cpp.o.d"
+  "libbufq_stats.a"
+  "libbufq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/aimd.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/aimd.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/aimd.cpp.o.d"
+  "/root/repo/src/traffic/conformance.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/conformance.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/conformance.cpp.o.d"
+  "/root/repo/src/traffic/envelope.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/envelope.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/envelope.cpp.o.d"
+  "/root/repo/src/traffic/frames.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/frames.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/frames.cpp.o.d"
+  "/root/repo/src/traffic/shaper.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/shaper.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/shaper.cpp.o.d"
+  "/root/repo/src/traffic/sources.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/sources.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/sources.cpp.o.d"
+  "/root/repo/src/traffic/token_bucket.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/token_bucket.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/bufq_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/bufq_traffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bufq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bufq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

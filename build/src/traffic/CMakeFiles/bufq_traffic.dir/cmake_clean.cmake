@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_traffic.dir/aimd.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/aimd.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/conformance.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/conformance.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/envelope.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/envelope.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/frames.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/frames.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/shaper.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/shaper.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/sources.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/sources.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/token_bucket.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/bufq_traffic.dir/trace.cpp.o"
+  "CMakeFiles/bufq_traffic.dir/trace.cpp.o.d"
+  "libbufq_traffic.a"
+  "libbufq_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

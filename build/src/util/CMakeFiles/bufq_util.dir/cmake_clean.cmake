@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufq_util.dir/csv.cpp.o"
+  "CMakeFiles/bufq_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bufq_util.dir/flags.cpp.o"
+  "CMakeFiles/bufq_util.dir/flags.cpp.o.d"
+  "CMakeFiles/bufq_util.dir/rng.cpp.o"
+  "CMakeFiles/bufq_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bufq_util.dir/units.cpp.o"
+  "CMakeFiles/bufq_util.dir/units.cpp.o.d"
+  "libbufq_util.a"
+  "libbufq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

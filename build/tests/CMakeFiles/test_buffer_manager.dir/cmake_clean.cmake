@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_manager.dir/buffer_manager_test.cpp.o"
+  "CMakeFiles/test_buffer_manager.dir/buffer_manager_test.cpp.o.d"
+  "test_buffer_manager"
+  "test_buffer_manager.pdb"
+  "test_buffer_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

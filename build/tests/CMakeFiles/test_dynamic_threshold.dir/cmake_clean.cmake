@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_threshold.dir/dynamic_threshold_test.cpp.o"
+  "CMakeFiles/test_dynamic_threshold.dir/dynamic_threshold_test.cpp.o.d"
+  "test_dynamic_threshold"
+  "test_dynamic_threshold.pdb"
+  "test_dynamic_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

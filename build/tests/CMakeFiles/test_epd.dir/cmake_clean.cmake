@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epd.dir/epd_test.cpp.o"
+  "CMakeFiles/test_epd.dir/epd_test.cpp.o.d"
+  "test_epd"
+  "test_epd.pdb"
+  "test_epd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_example1.dir/example1_test.cpp.o"
+  "CMakeFiles/test_example1.dir/example1_test.cpp.o.d"
+  "test_example1"
+  "test_example1.pdb"
+  "test_example1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

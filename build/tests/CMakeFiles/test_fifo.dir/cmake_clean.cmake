@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo.dir/fifo_test.cpp.o"
+  "CMakeFiles/test_fifo.dir/fifo_test.cpp.o.d"
+  "test_fifo"
+  "test_fifo.pdb"
+  "test_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_analysis.dir/hybrid_analysis_test.cpp.o"
+  "CMakeFiles/test_hybrid_analysis.dir/hybrid_analysis_test.cpp.o.d"
+  "test_hybrid_analysis"
+  "test_hybrid_analysis.pdb"
+  "test_hybrid_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_builder.dir/hybrid_builder_test.cpp.o"
+  "CMakeFiles/test_hybrid_builder.dir/hybrid_builder_test.cpp.o.d"
+  "test_hybrid_builder"
+  "test_hybrid_builder.pdb"
+  "test_hybrid_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_fuzz.dir/manager_fuzz_test.cpp.o"
+  "CMakeFiles/test_manager_fuzz.dir/manager_fuzz_test.cpp.o.d"
+  "test_manager_fuzz"
+  "test_manager_fuzz.pdb"
+  "test_manager_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_red.dir/red_test.cpp.o"
+  "CMakeFiles/test_red.dir/red_test.cpp.o.d"
+  "test_red"
+  "test_red.pdb"
+  "test_red[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective_sharing.dir/selective_sharing_test.cpp.o"
+  "CMakeFiles/test_selective_sharing.dir/selective_sharing_test.cpp.o.d"
+  "test_selective_sharing"
+  "test_selective_sharing.pdb"
+  "test_selective_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

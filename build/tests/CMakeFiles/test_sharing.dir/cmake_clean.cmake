@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharing.dir/sharing_test.cpp.o"
+  "CMakeFiles/test_sharing.dir/sharing_test.cpp.o.d"
+  "test_sharing"
+  "test_sharing.pdb"
+  "test_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

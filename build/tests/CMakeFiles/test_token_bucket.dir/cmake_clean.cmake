@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_bucket.dir/token_bucket_test.cpp.o"
+  "CMakeFiles/test_token_bucket.dir/token_bucket_test.cpp.o.d"
+  "test_token_bucket"
+  "test_token_bucket.pdb"
+  "test_token_bucket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
