@@ -1,0 +1,143 @@
+// Admission at scale: the "Scalable" in Scalable QoS, measured.
+//
+// Three views:
+//   1. Wall-clock admission-decision throughput against a FlowTable
+//      holding 1e5 concurrent flows (FIFO+thresholds, eq. 10).  The
+//      paper's argument is that the admission test is O(1) arithmetic on
+//      running aggregates; this measures it.  Exits non-zero below the
+//      100k decisions/sec floor.
+//   2. Per-flow state: the dense FlowTable footprint (a counter, a
+//      threshold and an envelope) versus the per-class state a WFQ
+//      scheduler must keep.
+//   3. A small churn simulation per scheme: blocking probability,
+//      achieved utilization, and guarantee violations under Poisson
+//      arrivals (see bench_fig* for the figure-series counterparts).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "admission/admission_controller.h"
+#include "admission/flow_table.h"
+#include "expt/churn_experiment.h"
+#include "sched/wfq.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bufq;
+
+// 1e5 concurrent flows, each 10 kb/s with a 1.5 KB burst, on a link with
+// enough capacity (u ~ 0.42) and buffer (eq. 10 needs ~260 MB) that the
+// steady-state churn loop keeps admitting.
+constexpr std::size_t kConcurrentFlows = 100'000;
+constexpr std::size_t kDecisions = 1'000'000;
+constexpr double kRequiredDecisionsPerSec = 100'000.0;
+
+double measure_decision_throughput() {
+  admission::FlowTable table{kConcurrentFlows};
+  admission::AdmissionController controller{{
+      .scheme = admission::Scheme::kFifoThreshold,
+      .link_rate = Rate::megabits_per_second(2400.0),
+      .buffer = ByteSize::megabytes(1000.0),
+  }};
+  const FlowSpec flow{Rate::kilobits_per_second(10.0), ByteSize::bytes(1500)};
+
+  std::vector<admission::FlowHandle> handles;
+  handles.reserve(kConcurrentFlows);
+  for (std::size_t i = 0; i < kConcurrentFlows; ++i) {
+    if (controller.try_admit(flow) != AdmissionVerdict::kAccepted) {
+      std::fprintf(stderr, "setup under-admitted: %zu flows\n", i);
+      std::exit(1);
+    }
+    handles.push_back(table.admit(flow, controller.threshold_bytes(flow)));
+  }
+
+  // Steady state: each decision replaces a random victim, so the table
+  // stays at 1e5 occupied slots and slot reuse hits random positions
+  // rather than a warm LIFO top.
+  Rng rng{42};
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t d = 0; d < kDecisions; ++d) {
+    const std::size_t victim = rng.uniform_u64(handles.size());
+    controller.release(flow);
+    table.teardown(handles[victim]);
+    if (controller.try_admit(flow) != AdmissionVerdict::kAccepted) {
+      std::fprintf(stderr, "steady-state admit refused at decision %zu\n", d);
+      std::exit(1);
+    }
+    handles[victim] = table.admit(flow, controller.threshold_bytes(flow));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(end - begin).count();
+  return static_cast<double>(kDecisions) / elapsed;
+}
+
+const char* scheme_name(ChurnScheme scheme) {
+  switch (scheme) {
+    case ChurnScheme::kFifoThreshold: return "fifo+thresholds";
+    case ChurnScheme::kFifoSharing: return "fifo+sharing";
+    case ChurnScheme::kWfq: return "wfq";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace bufq;
+
+  std::cout << "# 1) admission-decision throughput, FIFO+thresholds (eq. 10)\n";
+  const double per_sec = measure_decision_throughput();
+  CsvWriter speed{std::cout,
+                  {"concurrent_flows", "decisions", "decisions_per_sec"}};
+  speed.row({static_cast<double>(kConcurrentFlows), static_cast<double>(kDecisions),
+             per_sec});
+  std::cout << "\n";
+
+  std::cout << "# 2) per-flow state under churn (bytes)\n";
+  CsvWriter state{std::cout, {"structure", "bytes_per_flow"}};
+  state.row({"fifo_bm_flow_table", std::to_string(admission::FlowTable::bytes_per_flow())});
+  state.row({"wfq_per_class_state", std::to_string(WfqScheduler::kPerClassStateBytes)});
+  std::cout << "\n";
+
+  std::cout << "# 3) Poisson churn (lambda=150/s, 1/mu=0.5s) on 48 Mb/s, 1 MB buffer\n";
+  CsvWriter churn{std::cout,
+                  {"scheme", "blocking", "utilization", "mean_active",
+                   "conformant_drops", "nonconformant_drops"}};
+  for (ChurnScheme scheme :
+       {ChurnScheme::kFifoThreshold, ChurnScheme::kFifoSharing, ChurnScheme::kWfq}) {
+    ChurnConfig config{
+        .link_rate = Rate::megabits_per_second(48.0),
+        .buffer = ByteSize::megabytes(1.0),
+        .scheme = scheme,
+        .max_flows = 256,
+        .churn = {.arrival_rate_hz = 150.0,
+                  .mean_holding = Time::milliseconds(500),
+                  .mix = {{.profile = {.peak_rate = Rate::megabits_per_second(8.0),
+                                       .avg_rate = Rate::megabits_per_second(1.0),
+                                       .bucket = ByteSize::kilobytes(16.0),
+                                       .token_rate = Rate::megabits_per_second(1.0),
+                                       .mean_burst = ByteSize::kilobytes(16.0),
+                                       .regulated = true},
+                           .weight = 1.0}}},
+        .warmup = Time::seconds(2),
+        .duration = Time::seconds(10),
+        .seed = 7,
+    };
+    const ChurnResult r = run_churn_experiment(config);
+    churn.row({scheme_name(scheme), format_double(r.blocking_probability),
+               format_double(r.utilization), format_double(r.mean_active_flows),
+               std::to_string(r.counters.conformant_drops),
+               std::to_string(r.counters.nonconformant_drops)});
+  }
+
+  if (per_sec < kRequiredDecisionsPerSec) {
+    std::fprintf(stderr, "FAIL: %.0f decisions/sec < required %.0f\n", per_sec,
+                 kRequiredDecisionsPerSec);
+    return 1;
+  }
+  return 0;
+}

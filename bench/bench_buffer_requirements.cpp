@@ -5,6 +5,7 @@
 //   2. the concrete Table 1 workload dimensioned by both disciplines.
 #include <iostream>
 
+#include "admission/admission_controller.h"
 #include "core/analysis.h"
 #include "expt/experiment.h"
 #include "expt/workloads.h"
@@ -40,10 +41,12 @@ int main() {
   // admits into a fixed 2 MB buffer before going buffer-limited.
   std::cout << "# Identical flows (rho = 2 Mb/s, sigma = 50 KB) admitted into 2 MB:\n";
   CsvWriter admit{std::cout, {"discipline", "flows_admitted", "limiting_constraint"}};
-  for (auto [name, kind] :
-       {std::pair{"wfq", AdmissionController::Discipline::kWfq},
-        std::pair{"fifo+thresholds", AdmissionController::Discipline::kFifoThresholds}}) {
-    AdmissionController ac{kind, paper_link_rate(), ByteSize::megabytes(2.0)};
+  for (auto [name, scheme] :
+       {std::pair{"wfq", admission::Scheme::kWfq},
+        std::pair{"fifo+thresholds", admission::Scheme::kFifoThreshold}}) {
+    admission::AdmissionController ac{{.scheme = scheme,
+                                       .link_rate = paper_link_rate(),
+                                       .buffer = ByteSize::megabytes(2.0)}};
     const FlowSpec flow{Rate::megabits_per_second(2.0), ByteSize::kilobytes(50.0)};
     AdmissionVerdict verdict = AdmissionVerdict::kAccepted;
     while ((verdict = ac.try_admit(flow)) == AdmissionVerdict::kAccepted) {

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "admission/admission_controller.h"
 #include "core/analysis.h"
 #include "core/hybrid_analysis.h"
 #include "expt/experiment.h"
@@ -35,33 +36,52 @@ int main(int argc, char** argv) {
               link.to_string().c_str(), buffer.to_string().c_str(),
               flow.rho.to_string().c_str(), flow.sigma.to_string().c_str());
 
-  // 1. Admission capacity under both disciplines.
+  // 1. Admission capacity under each scheme: fill the port with identical
+  //    flows until the controller refuses one.
   std::printf("1) admissible flow count (lossless guarantees):\n");
-  for (auto [name, kind] :
-       {std::pair{"WFQ           ", AdmissionController::Discipline::kWfq},
-        std::pair{"FIFO+thresholds", AdmissionController::Discipline::kFifoThresholds}}) {
-    AdmissionController ac{kind, link, buffer};
+  for (auto [name, scheme] :
+       {std::pair{"WFQ            ", admission::Scheme::kWfq},
+        std::pair{"FIFO+thresholds", admission::Scheme::kFifoThreshold},
+        std::pair{"FIFO+sharing   ", admission::Scheme::kFifoSharing}}) {
+    admission::AdmissionController ac{{
+        .scheme = scheme,
+        .link_rate = link,
+        .buffer = buffer,
+        .headroom = scheme == admission::Scheme::kFifoSharing
+                        ? ByteSize::bytes(buffer.count() / 10)
+                        : ByteSize::zero(),
+    }};
     AdmissionVerdict verdict;
     while ((verdict = ac.try_admit(flow)) == AdmissionVerdict::kAccepted) {
     }
-    std::printf("   %s : %3zu flows (u = %4.1f%%), then %s-limited\n", name,
-                ac.admitted_count(), ac.utilization() * 100.0,
+    std::printf("   %s : %3zu flows (u = %4.1f%%, per-flow threshold %s), then %s-limited\n",
+                name, ac.admitted_count(), ac.utilization() * 100.0,
+                ByteSize::bytes(ac.threshold_bytes(flow)).to_string().c_str(),
                 verdict == AdmissionVerdict::kBandwidthLimited ? "bandwidth" : "buffer");
   }
 
-  // 2. Buffer needed vs target count.
+  // 2. Buffer needed vs target count: admit N flows into controllers with
+  //    an effectively unlimited buffer and read back what each scheme's
+  //    admitted set actually requires (eq. 6 vs eq. 9).
   std::printf("\n2) buffer needed for N such flows under FIFO+thresholds (eq. 9):\n");
   TextTable table{{"flows", "utilization", "wfq_buffer", "fifo_buffer"}};
+  const auto unlimited = ByteSize::megabytes(1e6);
   const auto max_by_rate = static_cast<int>(link.bps() / flow.rho.bps());
   for (int n = max_by_rate / 4; n < max_by_rate; n += std::max(1, max_by_rate / 8)) {
-    std::vector<FlowSpec> flows(static_cast<std::size_t>(n), flow);
-    const auto fifo = fifo_min_buffer_bytes(flows, link);
+    admission::AdmissionController wfq{
+        {.scheme = admission::Scheme::kWfq, .link_rate = link, .buffer = unlimited}};
+    admission::AdmissionController fifo{
+        {.scheme = admission::Scheme::kFifoThreshold, .link_rate = link, .buffer = unlimited}};
+    for (int i = 0; i < n; ++i) {
+      wfq.try_admit(flow);
+      fifo.try_admit(flow);
+    }
     table.row({std::to_string(n),
-               format_double(total_rate(flows) / link),
-               ByteSize::bytes(static_cast<std::int64_t>(wfq_min_buffer_bytes(flows)))
+               format_double(wfq.utilization()),
+               ByteSize::bytes(static_cast<std::int64_t>(wfq.required_buffer_bytes()))
                    .to_string(),
-               fifo ? ByteSize::bytes(static_cast<std::int64_t>(*fifo)).to_string()
-                    : "unbounded"});
+               ByteSize::bytes(static_cast<std::int64_t>(fifo.required_buffer_bytes()))
+                   .to_string()});
   }
   table.print(std::cout);
 

@@ -30,8 +30,23 @@ benches=(
   bench_adaptive_flows
   bench_robustness
   bench_grouping_sim
+  bench_admission_churn
   bench_scalability
 )
+
+# Fail loudly up front if any bench binary is missing, rather than dying
+# halfway through a long run with a cryptic "No such file" error.
+missing=0
+for bench in "${benches[@]}"; do
+  if [[ ! -x "${build_dir}/bench/${bench}" ]]; then
+    echo "ERROR: missing bench binary ${build_dir}/bench/${bench}" >&2
+    missing=1
+  fi
+done
+if [[ "${missing}" -ne 0 ]]; then
+  echo "ERROR: build the benches first (cmake --build ${build_dir})" >&2
+  exit 1
+fi
 
 for bench in "${benches[@]}"; do
   echo "== ${bench}"

@@ -1,0 +1,83 @@
+#include "admission/dynamic_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq::admission {
+
+DynamicBufferManager::DynamicBufferManager(ByteSize capacity, FlowTable& table, Policy policy,
+                                           ByteSize max_headroom)
+    : capacity_{capacity},
+      table_{table},
+      policy_{policy},
+      max_headroom_{std::min(max_headroom.count(), capacity.count())} {
+  assert(capacity.count() >= 0);
+  assert(max_headroom.count() >= 0);
+  // The buffer starts empty: headroom at its cap, the rest is holes.
+  headroom_ = max_headroom_;
+  holes_ = capacity_.count() - headroom_;
+}
+
+bool DynamicBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  assert(flow >= 0);
+  const auto slot = static_cast<std::uint32_t>(flow);
+  // A packet can outlive its flow only through a bug in the churn driver's
+  // reap ordering; refuse rather than corrupt a recycled slot's counters.
+  if (!table_.active(slot)) return false;
+
+  const std::int64_t q = table_.occupancy(slot);
+  const std::int64_t t = table_.threshold(slot);
+
+  if (policy_ == Policy::kThreshold) {
+    if (q + bytes > t) return false;
+    if (total_ + bytes > capacity_.count()) return false;
+    table_.add_occupancy(slot, bytes);
+    total_ += bytes;
+    return true;
+  }
+
+  // kSharing, the S3.3 pool algorithm (see BufferSharingManager).
+  if (q + bytes <= t) {
+    // Below threshold: entitled to space.  Holes first, headroom second.
+    const std::int64_t from_holes = std::min(holes_, bytes);
+    const std::int64_t from_headroom = bytes - from_holes;
+    if (from_headroom > headroom_) return false;
+    holes_ -= from_holes;
+    headroom_ -= from_headroom;
+  } else {
+    // Above threshold: holes only, and the flow's excess after admission
+    // may not exceed the holes that remain.
+    if (bytes > holes_) return false;
+    if (q + bytes - t > holes_ - bytes) return false;
+    holes_ -= bytes;
+  }
+  table_.add_occupancy(slot, bytes);
+  total_ += bytes;
+  return true;
+}
+
+void DynamicBufferManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+  assert(flow >= 0);
+  const auto slot = static_cast<std::uint32_t>(flow);
+  assert(table_.active(slot) && "release for a flow that was already recycled");
+  table_.add_occupancy(slot, -bytes);
+  total_ -= bytes;
+  assert(table_.occupancy(slot) >= 0);
+  assert(total_ >= 0);
+  if (policy_ == Policy::kSharing) {
+    // Freed space replenishes the headroom first (up to its cap); only the
+    // overflow becomes holes again — the paper's departure pseudocode.
+    headroom_ += bytes;
+    holes_ += std::max<std::int64_t>(headroom_ - max_headroom_, 0);
+    headroom_ = std::min(headroom_, max_headroom_);
+    assert(holes_ + headroom_ + total_ == capacity_.count());
+  }
+}
+
+std::int64_t DynamicBufferManager::occupancy(FlowId flow) const {
+  assert(flow >= 0);
+  const auto slot = static_cast<std::uint32_t>(flow);
+  return table_.active(slot) ? table_.occupancy(slot) : 0;
+}
+
+}  // namespace bufq::admission

@@ -1,0 +1,68 @@
+#include "admission/flow_table.h"
+
+#include <cassert>
+#include <limits>
+
+namespace bufq::admission {
+
+FlowTable::FlowTable(std::size_t initial_slots) {
+  if (initial_slots == 0) initial_slots = 1;
+  assert(initial_slots <= std::numeric_limits<std::uint32_t>::max());
+  occupancy_.resize(initial_slots, 0);
+  threshold_.resize(initial_slots, 0);
+  sigma_bytes_.resize(initial_slots, 0);
+  rho_bps_.resize(initial_slots, 0.0);
+  generation_.resize(initial_slots, 0);
+  free_slots_.reserve(initial_slots);
+  // Push in reverse so slot 0 is recycled first: small FlowIds stay dense.
+  for (std::size_t s = initial_slots; s-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+}
+
+std::uint32_t FlowTable::take_slot() {
+  if (free_slots_.empty()) {
+    const std::size_t old = generation_.size();
+    const std::size_t grown = old * 2;
+    occupancy_.resize(grown, 0);
+    threshold_.resize(grown, 0);
+    sigma_bytes_.resize(grown, 0);
+    rho_bps_.resize(grown, 0.0);
+    generation_.resize(grown, 0);
+    for (std::size_t s = grown; s-- > old + 1;) {
+      free_slots_.push_back(static_cast<std::uint32_t>(s));
+    }
+    return static_cast<std::uint32_t>(old);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+FlowHandle FlowTable::admit(const FlowSpec& spec, std::int64_t threshold_bytes) {
+  assert(threshold_bytes >= 0);
+  const std::uint32_t slot = take_slot();
+  assert((generation_[slot] & 1u) == 0 && "free slot must have an even generation");
+  occupancy_[slot] = 0;
+  threshold_[slot] = threshold_bytes;
+  sigma_bytes_[slot] = spec.sigma.count();
+  rho_bps_[slot] = spec.rho.bps();
+  ++generation_[slot];  // even -> odd: occupied
+  ++active_count_;
+  return FlowHandle{.slot = slot, .generation = generation_[slot]};
+}
+
+void FlowTable::teardown(FlowHandle handle) {
+  assert(valid(handle) && "teardown of a stale or never-issued handle");
+  assert(occupancy_[handle.slot] == 0 && "flow must drain before its slot is recycled");
+  ++generation_[handle.slot];  // odd -> even: free
+  free_slots_.push_back(handle.slot);
+  --active_count_;
+}
+
+bool FlowTable::valid(FlowHandle handle) const {
+  return handle.slot < generation_.size() && generation_[handle.slot] == handle.generation &&
+         (handle.generation & 1u) != 0;
+}
+
+}  // namespace bufq::admission

@@ -35,48 +35,4 @@ double fifo_buffer_inflation(double utilization) {
   return 1.0 / (1.0 - utilization);
 }
 
-AdmissionController::AdmissionController(Discipline discipline, Rate link_rate, ByteSize buffer)
-    : discipline_{discipline}, link_rate_{link_rate}, buffer_{buffer} {
-  assert(link_rate.bps() > 0.0);
-  assert(buffer.count() >= 0);
-}
-
-AdmissionVerdict AdmissionController::try_admit(const FlowSpec& flow) {
-  const Rate new_rate = reserved_rate_ + flow.rho;
-  const double new_sigma = reserved_sigma_ + static_cast<double>(flow.sigma.count());
-  const double buffer_bytes = static_cast<double>(buffer_.count());
-
-  if (new_rate > link_rate_) return AdmissionVerdict::kBandwidthLimited;
-
-  switch (discipline_) {
-    case Discipline::kWfq:
-      // Eq. 6: B >= sum(sigma).
-      if (new_sigma > buffer_bytes) return AdmissionVerdict::kBufferLimited;
-      break;
-    case Discipline::kFifoThresholds:
-      // Eq. 9: B >= R * sum(sigma) / (R - sum(rho)).  At full reservation
-      // no finite buffer works unless there is no burst at all.
-      if (new_rate == link_rate_) {
-        if (new_sigma > 0.0) return AdmissionVerdict::kBufferLimited;
-      } else if (link_rate_.bps() * new_sigma / (link_rate_.bps() - new_rate.bps()) >
-                 buffer_bytes) {
-        return AdmissionVerdict::kBufferLimited;
-      }
-      break;
-  }
-  reserved_rate_ = new_rate;
-  reserved_sigma_ = new_sigma;
-  ++admitted_;
-  return AdmissionVerdict::kAccepted;
-}
-
-void AdmissionController::release(const FlowSpec& flow) {
-  assert(admitted_ > 0);
-  reserved_rate_ = reserved_rate_ - flow.rho;
-  reserved_sigma_ -= static_cast<double>(flow.sigma.count());
-  assert(reserved_rate_.bps() >= -1e-9);
-  assert(reserved_sigma_ >= -1e-9);
-  --admitted_;
-}
-
 }  // namespace bufq

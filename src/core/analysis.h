@@ -40,42 +40,15 @@ namespace bufq {
 /// 1 / (1 - u).
 [[nodiscard]] double fifo_buffer_inflation(double utilization);
 
-/// Why an admission request was refused.
+/// Why an admission request was refused.  Produced by
+/// admission::AdmissionController (src/admission/), which runs these
+/// inequalities in reverse as online admission tests.
 enum class AdmissionVerdict {
   kAccepted,
   /// Equation 5/7 violated: sum of reserved rates would exceed the link.
   kBandwidthLimited,
   /// Equation 6 (WFQ) or 9 (FIFO) violated: buffer cannot cover the flows.
   kBufferLimited,
-};
-
-/// Admission control for a link of rate R with buffer B under either
-/// discipline.  Tracks the currently admitted set; O(1) per decision.
-class AdmissionController {
- public:
-  enum class Discipline { kWfq, kFifoThresholds };
-
-  AdmissionController(Discipline discipline, Rate link_rate, ByteSize buffer);
-
-  /// Tests the flow against eqs. 5/6 (WFQ) or 7/9 (FIFO) including the
-  /// already-admitted set; admits and returns kAccepted on success.
-  AdmissionVerdict try_admit(const FlowSpec& flow);
-
-  /// Removes a previously admitted flow's reservation.
-  void release(const FlowSpec& flow);
-
-  [[nodiscard]] Rate reserved_rate() const { return reserved_rate_; }
-  [[nodiscard]] double reserved_sigma_bytes() const { return reserved_sigma_; }
-  [[nodiscard]] double utilization() const { return reserved_rate_ / link_rate_; }
-  [[nodiscard]] std::size_t admitted_count() const { return admitted_; }
-
- private:
-  Discipline discipline_;
-  Rate link_rate_;
-  ByteSize buffer_;
-  Rate reserved_rate_{Rate::zero()};
-  double reserved_sigma_{0.0};
-  std::size_t admitted_{0};
 };
 
 }  // namespace bufq

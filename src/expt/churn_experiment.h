@@ -1,0 +1,58 @@
+// Experiment pipeline for flow churn: where run_experiment() wires a
+// *fixed* flow set, this runner lets the ChurnDriver admit and tear down
+// flows while the simulation is running, and reports the teletraffic
+// metrics the paper's admission story implies — blocking probability,
+// achieved utilization, and guarantee violations.
+#pragma once
+
+#include <cstdint>
+
+#include "admission/admission_controller.h"
+#include "admission/churn_driver.h"
+#include "stats/collector.h"
+#include "util/units.h"
+
+namespace bufq {
+
+/// End-to-end scheme under churn: scheduler + per-packet manager + the
+/// admission test gating arrivals.
+enum class ChurnScheme {
+  kFifoThreshold,  ///< FIFO, Prop-2 thresholds, eq. 10 admission
+  kFifoSharing,    ///< FIFO, holes/headroom sharing, eq. 10 vs B - H
+  kWfq,            ///< per-flow WFQ, sigma-sized allocations, eq. 6
+};
+
+struct ChurnConfig {
+  Rate link_rate;
+  ByteSize buffer;
+  ChurnScheme scheme{ChurnScheme::kFifoThreshold};
+  /// Headroom H for ChurnScheme::kFifoSharing.
+  ByteSize headroom{ByteSize::kilobytes(100.0)};
+  /// Concurrent-flow ceiling: FlowTable slots (and WFQ classes).
+  std::size_t max_flows{1024};
+  admission::ChurnDriver::Config churn;
+  /// Counters before this instant are discarded.
+  Time warmup{Time::seconds(2)};
+  /// Measured interval.
+  Time duration{Time::seconds(20)};
+  std::uint64_t seed{1};
+};
+
+struct ChurnResult {
+  admission::ChurnDriver::Counters counters;
+  /// Aggregate byte/packet counters over the measured interval.
+  FlowCounters traffic;
+  Time interval{Time::zero()};
+  double blocking_probability{0.0};
+  /// Delivered bits / link capacity over the measured interval.
+  double utilization{0.0};
+  double mean_active_flows{0.0};
+  double mean_reserved_utilization{0.0};
+  /// Flows still holding or draining when the horizon was reached.
+  std::size_t active_at_end{0};
+};
+
+/// Runs one churn experiment to completion.
+[[nodiscard]] ChurnResult run_churn_experiment(const ChurnConfig& config);
+
+}  // namespace bufq

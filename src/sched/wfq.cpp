@@ -33,6 +33,16 @@ WfqScheduler::WfqScheduler(BufferManager& manager, Rate link_rate,
   }
 }
 
+void WfqScheduler::set_class_weight(std::size_t cls, double weight) {
+  assert(cls < classes_.size());
+  assert(weight > 0.0 && "WFQ weights must be positive");
+  assert(classes_[cls].queue.empty() && "weights may only change while the class is idle");
+  classes_[cls].weight = weight;
+  // A recycled slot is a fresh flow: forget the previous occupant's finish
+  // stamp so the newcomer starts from the current fair-share level.
+  classes_[cls].last_finish = 0.0;
+}
+
 std::size_t WfqScheduler::class_queue_length(std::size_t cls) const {
   assert(cls < classes_.size());
   return classes_[cls].queue.size();

@@ -48,6 +48,11 @@ class WfqScheduler final : public QueueDiscipline {
   [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
   void set_drop_handler(DropHandler handler) override { on_drop_ = std::move(handler); }
 
+  /// Rebinds a class's weight.  Only legal while the class is idle (its
+  /// queue empty), so virtual-time bookkeeping is unaffected; used by the
+  /// churn driver when a recycled flow slot gets a new reservation.
+  void set_class_weight(std::size_t cls, double weight);
+
   [[nodiscard]] std::size_t class_count() const { return classes_.size(); }
   [[nodiscard]] std::size_t class_queue_length(std::size_t cls) const;
   [[nodiscard]] double virtual_time() const { return virtual_time_; }
@@ -62,6 +67,16 @@ class WfqScheduler final : public QueueDiscipline {
     double last_finish{0.0};
     std::deque<StampedPacket> queue;
   };
+
+ public:
+  /// Resident per-class state, the scalability cost the paper's buffer
+  /// management avoids: weight + finish stamp + queue bookkeeping, not
+  /// counting the hol_ sort entry (~4 words per backlogged class) or the
+  /// per-packet finish stamps.  Reported by bench_admission_churn against
+  /// FlowTable::bytes_per_flow().
+  static constexpr std::size_t kPerClassStateBytes = sizeof(ClassState);
+
+ private:
 
   void advance_virtual_time(Time now);
 

@@ -6,23 +6,27 @@ namespace bufq {
 
 StatsCollector::StatsCollector(std::size_t flow_count) : flows_(flow_count) {}
 
+FlowCounters& StatsCollector::at(FlowId id) {
+  assert(id >= 0);
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= flows_.size()) flows_.resize(index + 1);
+  return flows_[index];
+}
+
 void StatsCollector::on_offered(const Packet& packet) {
-  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
-  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  auto& c = at(packet.flow);
   c.offered_bytes += packet.size_bytes;
   ++c.offered_packets;
 }
 
 void StatsCollector::on_delivered(const Packet& packet, Time /*now*/) {
-  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
-  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  auto& c = at(packet.flow);
   c.delivered_bytes += packet.size_bytes;
   ++c.delivered_packets;
 }
 
 void StatsCollector::on_dropped(const Packet& packet, Time /*now*/) {
-  assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flows_.size());
-  auto& c = flows_[static_cast<std::size_t>(packet.flow)];
+  auto& c = at(packet.flow);
   c.dropped_bytes += packet.size_bytes;
   ++c.dropped_packets;
 }
@@ -41,6 +45,28 @@ FlowCounters StatsCollector::total() const {
     sum.offered_packets += c.offered_packets;
     sum.delivered_packets += c.delivered_packets;
     sum.dropped_packets += c.dropped_packets;
+  }
+  return sum;
+}
+
+FlowCounters StatsCollector::total_delta(const std::vector<FlowCounters>& before,
+                                          const std::vector<FlowCounters>& after) {
+  FlowCounters sum;
+  for (const auto& c : after) {
+    sum.offered_bytes += c.offered_bytes;
+    sum.delivered_bytes += c.delivered_bytes;
+    sum.dropped_bytes += c.dropped_bytes;
+    sum.offered_packets += c.offered_packets;
+    sum.delivered_packets += c.delivered_packets;
+    sum.dropped_packets += c.dropped_packets;
+  }
+  for (const auto& c : before) {
+    sum.offered_bytes -= c.offered_bytes;
+    sum.delivered_bytes -= c.delivered_bytes;
+    sum.dropped_bytes -= c.dropped_bytes;
+    sum.offered_packets -= c.offered_packets;
+    sum.delivered_packets -= c.delivered_packets;
+    sum.dropped_packets -= c.dropped_packets;
   }
   return sum;
 }

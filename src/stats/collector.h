@@ -39,6 +39,9 @@ struct FlowCounters {
 
 class StatsCollector {
  public:
+  /// Counters for flows [0, flow_count).  Under churn the flow population
+  /// is open-ended (slot indices grow with the FlowTable), so a packet for
+  /// a flow beyond the current size grows the table instead of asserting.
   explicit StatsCollector(std::size_t flow_count);
 
   void on_offered(const Packet& packet);
@@ -56,7 +59,15 @@ class StatsCollector {
   /// Delivered throughput of one flow over an interval, from snapshots.
   [[nodiscard]] static Rate throughput(const FlowCounters& delta, Time interval);
 
+  /// Aggregate difference between two totals-of-snapshots taken at
+  /// different times, tolerating snapshots of different lengths (the flow
+  /// table may have grown in between; missing entries count as zero).
+  [[nodiscard]] static FlowCounters total_delta(const std::vector<FlowCounters>& before,
+                                                const std::vector<FlowCounters>& after);
+
  private:
+  FlowCounters& at(FlowId id);
+
   std::vector<FlowCounters> flows_;
 };
 

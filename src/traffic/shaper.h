@@ -31,6 +31,9 @@ class LeakyBucketShaper : public PacketSink {
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
   [[nodiscard]] std::int64_t bytes_forwarded() const { return bytes_forwarded_; }
+  /// True while a release event is outstanding on the calendar.  The churn
+  /// driver must not destroy a shaper whose event is still pending.
+  [[nodiscard]] bool release_pending() const { return release_pending_; }
 
  private:
   void release_ready();

@@ -38,7 +38,16 @@ void MarkovOnOffSource::start() {
   // Start in the OFF state with a fresh holding time; the first burst
   // begins after an exponential delay, so sources with distinct streams
   // desynchronize immediately.
-  sim_.in(rng_.exponential_time(params_.mean_off), [this] { begin_on_period(); });
+  schedule(rng_.exponential_time(params_.mean_off), &MarkovOnOffSource::begin_on_period);
+}
+
+void MarkovOnOffSource::stop() { stopped_ = true; }
+
+void MarkovOnOffSource::schedule(Time delay, void (MarkovOnOffSource::*next)()) {
+  next_event_ = sim_.now() + delay;
+  sim_.in(delay, [this, next] {
+    if (!stopped_) (this->*next)();
+  });
 }
 
 void MarkovOnOffSource::begin_on_period() {
@@ -62,7 +71,7 @@ void MarkovOnOffSource::emit_packet() {
   // The ON period covers whole packets: we emit as long as the next packet
   // would still start inside the period, then fall silent.
   if (sim_.now() >= on_ends_) {
-    sim_.in(rng_.exponential_time(params_.mean_off), [this] { begin_on_period(); });
+    schedule(rng_.exponential_time(params_.mean_off), &MarkovOnOffSource::begin_on_period);
     return;
   }
   sink_.accept(Packet{.flow = params_.flow,
@@ -71,7 +80,7 @@ void MarkovOnOffSource::emit_packet() {
                       .created = sim_.now()});
   bytes_emitted_ += params_.packet_bytes;
   ++packets_emitted_;
-  sim_.in(packet_gap_, [this] { emit_packet(); });
+  schedule(packet_gap_, &MarkovOnOffSource::emit_packet);
 }
 
 // ------------------------------------------------------------------- CBR

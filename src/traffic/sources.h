@@ -28,6 +28,13 @@ class Source {
   /// Begins emitting.  Must be called at most once.
   virtual void start() = 0;
 
+  /// Stops emitting: no further packets and no further events are
+  /// scheduled.  At most one already-scheduled event may still fire (as a
+  /// no-op); the source must stay alive until it has.  Used by the churn
+  /// driver to tear flows down mid-run.  Default: no-op for sources that
+  /// are never churned.
+  virtual void stop() {}
+
   [[nodiscard]] virtual std::int64_t bytes_emitted() const = 0;
   [[nodiscard]] virtual std::uint64_t packets_emitted() const = 0;
 };
@@ -62,6 +69,12 @@ class MarkovOnOffSource : public Source {
                                     std::int64_t packet_bytes = 500);
 
   void start() override;
+  void stop() override;
+
+  /// Simulated time after which the source is guaranteed inert: its last
+  /// scheduled event has fired.  Only meaningful after stop(); the churn
+  /// driver waits for this before destroying the object.
+  [[nodiscard]] Time quiescent_after() const { return next_event_; }
 
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
@@ -69,6 +82,7 @@ class MarkovOnOffSource : public Source {
  private:
   void begin_on_period();
   void emit_packet();
+  void schedule(Time delay, void (MarkovOnOffSource::*next)());
 
   Simulator& sim_;
   PacketSink& sink_;
@@ -76,10 +90,12 @@ class MarkovOnOffSource : public Source {
   Rng rng_;
   Time on_ends_{Time::zero()};
   Time packet_gap_{Time::zero()};
+  Time next_event_{Time::zero()};
   std::uint64_t next_seq_{0};
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  bool stopped_{false};
 };
 
 /// Constant bit rate source: fixed-size packets at exact intervals.

@@ -1,0 +1,254 @@
+#include "admission/admission_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hybrid_analysis.h"
+#include "util/rng.h"
+
+namespace bufq::admission {
+namespace {
+
+const Rate kLink = Rate::megabits_per_second(48.0);
+
+AdmissionController make(Scheme scheme, ByteSize buffer,
+                         ByteSize headroom = ByteSize::zero(), std::size_t queues = 0) {
+  return AdmissionController{{.scheme = scheme,
+                              .link_rate = kLink,
+                              .buffer = buffer,
+                              .headroom = headroom,
+                              .hybrid_queues = queues}};
+}
+
+// --------------------------------------------------------------- WFQ
+
+TEST(AdmissionControllerTest, WfqAcceptsWhileBothConstraintsHold) {
+  auto ac = make(Scheme::kWfq, ByteSize::kilobytes(200.0));
+  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(50.0)};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  }
+  // Fifth flow: 250 KB of bursts > 200 KB buffer.
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+  EXPECT_EQ(ac.admitted_count(), 4u);
+}
+
+TEST(AdmissionControllerTest, WfqBandwidthLimit) {
+  auto ac = make(Scheme::kWfq, ByteSize::megabytes(100.0));
+  const FlowSpec flow{Rate::megabits_per_second(20.0), ByteSize::kilobytes(10.0)};
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBandwidthLimited);
+}
+
+TEST(AdmissionControllerTest, WfqThresholdIsSigma) {
+  auto ac = make(Scheme::kWfq, ByteSize::megabytes(1.0));
+  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(50.0)};
+  EXPECT_EQ(ac.threshold_bytes(flow), 50'000);
+}
+
+// -------------------------------------------------- FIFO + thresholds
+
+TEST(AdmissionControllerTest, FifoIsBufferLimitedBeforeWfqIs) {
+  // Same buffer: the FIFO controller must refuse a set WFQ accepts, once
+  // utilization inflates its requirement.
+  auto wfq = make(Scheme::kWfq, ByteSize::kilobytes(200.0));
+  auto fifo = make(Scheme::kFifoThreshold, ByteSize::kilobytes(200.0));
+  const FlowSpec flow{Rate::megabits_per_second(10.0), ByteSize::kilobytes(40.0)};
+  int wfq_admitted = 0;
+  int fifo_admitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (wfq.try_admit(flow) == AdmissionVerdict::kAccepted) ++wfq_admitted;
+    if (fifo.try_admit(flow) == AdmissionVerdict::kAccepted) ++fifo_admitted;
+  }
+  EXPECT_EQ(wfq_admitted, 4);  // 160 KB of bursts fits
+  // FIFO: after 3 flows u = 30/48, B needed = 120K * 48/18 = 320K > 200K.
+  EXPECT_EQ(fifo_admitted, 2);
+}
+
+TEST(AdmissionControllerTest, SingleFlowMatchesEquation9) {
+  // One flow of rho = 24 Mb/s (u = 0.5), sigma = 100 KB needs exactly
+  // 200 KB; a buffer of that size admits it, one byte less does not.
+  const FlowSpec flow{Rate::megabits_per_second(24.0), ByteSize::kilobytes(100.0)};
+  auto exact = make(Scheme::kFifoThreshold, ByteSize::bytes(200'000));
+  EXPECT_EQ(exact.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_DOUBLE_EQ(exact.required_buffer_bytes(), 200'000.0);
+  auto shy = make(Scheme::kFifoThreshold, ByteSize::bytes(199'999));
+  EXPECT_EQ(shy.try_admit(flow), AdmissionVerdict::kBufferLimited);
+}
+
+TEST(AdmissionControllerTest, FullReservationAdmitsOnlyZeroBurst) {
+  // u -> 1 edge: eq. 10 diverges, so a fully reserved link has room only
+  // for flows with no burst at all.
+  auto ac = make(Scheme::kFifoThreshold, ByteSize::megabytes(100.0));
+  EXPECT_EQ(ac.try_admit({Rate::megabits_per_second(48.0), ByteSize::zero()}),
+            AdmissionVerdict::kAccepted);
+  EXPECT_DOUBLE_EQ(ac.utilization(), 1.0);
+  EXPECT_EQ(ac.try_admit({Rate::zero(), ByteSize::bytes(1)}),
+            AdmissionVerdict::kBufferLimited);
+  EXPECT_EQ(ac.try_admit({Rate::zero(), ByteSize::zero()}), AdmissionVerdict::kAccepted);
+}
+
+TEST(AdmissionControllerTest, OversubscriptionIsRejectedNotAdmitted) {
+  // Filling to the eq. 10 boundary keeps required_buffer_bytes <= B at
+  // every step; the first flow past the boundary is refused and leaves
+  // the admitted state untouched.
+  const auto buffer = ByteSize::megabytes(1.0);
+  auto ac = make(Scheme::kFifoThreshold, buffer);
+  const FlowSpec flow{Rate::megabits_per_second(2.0), ByteSize::kilobytes(40.0)};
+  std::size_t admitted = 0;
+  while (ac.try_admit(flow) == AdmissionVerdict::kAccepted) {
+    ++admitted;
+    EXPECT_LE(ac.required_buffer_bytes(),
+              static_cast<double>(buffer.count()) * (1.0 + 1e-12));
+    ASSERT_LT(admitted, 1000u);
+  }
+  const auto before_rate = ac.reserved_rate().bps();
+  const auto before_sigma = ac.reserved_sigma_bytes();
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+  EXPECT_EQ(ac.admitted_count(), admitted);
+  EXPECT_DOUBLE_EQ(ac.reserved_rate().bps(), before_rate);
+  EXPECT_DOUBLE_EQ(ac.reserved_sigma_bytes(), before_sigma);
+}
+
+TEST(AdmissionControllerTest, FifoThresholdIsProp2) {
+  auto ac = make(Scheme::kFifoThreshold, ByteSize::megabytes(1.0));
+  const FlowSpec flow{Rate::megabits_per_second(12.0), ByteSize::kilobytes(50.0)};
+  // sigma + B * rho / R = 50K + 1M / 4.
+  EXPECT_EQ(ac.threshold_bytes(flow), 300'000);
+}
+
+TEST(AdmissionControllerTest, ReleaseRestoresCapacityAndPinsEmptyStateToZero) {
+  // Two flows need 80K / (1 - 1/3) = 120 KB, three need 240 KB: a 150 KB
+  // buffer admits exactly two.
+  auto ac = make(Scheme::kFifoThreshold, ByteSize::kilobytes(150.0));
+  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(40.0)};
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
+  ac.release(flow);
+  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  ac.release(flow);
+  ac.release(flow);
+  EXPECT_EQ(ac.admitted_count(), 0u);
+  EXPECT_DOUBLE_EQ(ac.reserved_rate().bps(), 0.0);
+  EXPECT_DOUBLE_EQ(ac.reserved_sigma_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ac.required_buffer_bytes(), 0.0);
+}
+
+// ----------------------------------------------------- FIFO + sharing
+
+TEST(AdmissionControllerTest, SharingReservesHeadroomOutOfThresholds) {
+  // With H of headroom the threshold partition shrinks to B - H, so the
+  // sharing controller admits strictly fewer flows than plain thresholds
+  // at the same buffer size.
+  const auto buffer = ByteSize::kilobytes(400.0);
+  auto threshold = make(Scheme::kFifoThreshold, buffer);
+  auto sharing = make(Scheme::kFifoSharing, buffer, ByteSize::kilobytes(120.0));
+  const FlowSpec flow{Rate::megabits_per_second(4.0), ByteSize::kilobytes(25.0)};
+  std::size_t threshold_admitted = 0;
+  std::size_t sharing_admitted = 0;
+  while (threshold.try_admit(flow) == AdmissionVerdict::kAccepted) ++threshold_admitted;
+  while (sharing.try_admit(flow) == AdmissionVerdict::kAccepted) ++sharing_admitted;
+  EXPECT_LT(sharing_admitted, threshold_admitted);
+  // And its Prop-2 thresholds scale against the partition, not B.
+  EXPECT_LT(sharing.threshold_bytes(flow), threshold.threshold_bytes(flow));
+}
+
+// ---------------------------------------------------------- hybrid
+
+std::vector<QueueAggregate> aggregates_of(const std::vector<std::vector<FlowSpec>>& groups) {
+  return aggregate_groups(groups);
+}
+
+TEST(AdmissionControllerTest, HybridIncrementalMatchesScratchEq19) {
+  // Admit a random mix into 3 groups; after every admit the incrementally
+  // maintained requirement must match the closed-form eq. 19 recomputed
+  // from scratch over the same aggregates.
+  auto ac = make(Scheme::kHybrid, ByteSize::megabytes(100.0), ByteSize::zero(), 3);
+  Rng rng{7};
+  std::vector<std::vector<FlowSpec>> groups{3};
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t group = rng.uniform_u64(3);
+    const FlowSpec flow{Rate::kilobits_per_second(100.0 + rng.uniform(0.0, 400.0)),
+                        ByteSize::bytes(static_cast<std::int64_t>(1 + rng.uniform_u64(40'000)))};
+    ASSERT_EQ(ac.try_admit(flow, group), AdmissionVerdict::kAccepted);
+    groups[group].push_back(flow);
+    EXPECT_NEAR(ac.required_buffer_bytes(),
+                hybrid_optimal_buffer_bytes(aggregates_of(groups), kLink),
+                1e-6 * ac.required_buffer_bytes());
+  }
+  // The incrementally maintained split matches Prop 3 evaluated fresh.
+  const auto expected = prop3_alphas(aggregates_of(groups));
+  const auto actual = ac.hybrid_alphas();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_NEAR(actual[q], expected[q], 1e-9);
+  }
+}
+
+TEST(AdmissionControllerTest, HybridSurvivesReleaseChurn) {
+  auto ac = make(Scheme::kHybrid, ByteSize::megabytes(100.0), ByteSize::zero(), 2);
+  const FlowSpec a{Rate::megabits_per_second(4.0), ByteSize::kilobytes(50.0)};
+  const FlowSpec b{Rate::megabits_per_second(2.0), ByteSize::kilobytes(20.0)};
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_EQ(ac.try_admit(a, 0), AdmissionVerdict::kAccepted);
+    ASSERT_EQ(ac.try_admit(b, 1), AdmissionVerdict::kAccepted);
+    ac.release(a, 0);
+    ac.release(b, 1);
+  }
+  // Empty again: accumulators pinned to exactly zero, alphas all zero.
+  EXPECT_EQ(ac.admitted_count(), 0u);
+  EXPECT_DOUBLE_EQ(ac.required_buffer_bytes(), 0.0);
+  for (double alpha : ac.hybrid_alphas()) {
+    EXPECT_DOUBLE_EQ(alpha, 0.0);
+  }
+}
+
+TEST(AdmissionControllerTest, HybridEmptyGroupsGetZeroShare) {
+  auto ac = make(Scheme::kHybrid, ByteSize::megabytes(10.0), ByteSize::zero(), 4);
+  const FlowSpec flow{Rate::megabits_per_second(4.0), ByteSize::kilobytes(50.0)};
+  ASSERT_EQ(ac.try_admit(flow, 2), AdmissionVerdict::kAccepted);
+  const auto alphas = ac.hybrid_alphas();
+  ASSERT_EQ(alphas.size(), 4u);
+  EXPECT_DOUBLE_EQ(alphas[0], 0.0);
+  EXPECT_DOUBLE_EQ(alphas[1], 0.0);
+  EXPECT_DOUBLE_EQ(alphas[2], 1.0);
+  EXPECT_DOUBLE_EQ(alphas[3], 0.0);
+}
+
+TEST(AdmissionControllerTest, HybridBeatsSingleFifoAtSameBuffer) {
+  // Eq. 17: grouping saves buffer, so a hybrid controller must admit a
+  // heterogeneous set that the single-FIFO controller refuses.
+  // The full set needs 512 KB as one FIFO (eq. 10) but only ~356 KB split
+  // into two groups (eq. 19); 400 KB sits between.
+  const auto buffer = ByteSize::kilobytes(400.0);
+  auto fifo = make(Scheme::kFifoThreshold, buffer);
+  auto hybrid = make(Scheme::kHybrid, buffer, ByteSize::zero(), 2);
+  // Two classes of very different burstiness (the paper's motivation for
+  // segregating them): bursty-but-slow vs smooth-but-fast.
+  const FlowSpec bursty{Rate::megabits_per_second(1.0), ByteSize::kilobytes(60.0)};
+  const FlowSpec smooth{Rate::megabits_per_second(5.0), ByteSize::kilobytes(4.0)};
+  bool fifo_refused = false;
+  bool hybrid_refused = false;
+  for (int i = 0; i < 4; ++i) {
+    fifo_refused |= fifo.try_admit(bursty) != AdmissionVerdict::kAccepted;
+    fifo_refused |= fifo.try_admit(smooth) != AdmissionVerdict::kAccepted;
+    hybrid_refused |= hybrid.try_admit(bursty, 0) != AdmissionVerdict::kAccepted;
+    hybrid_refused |= hybrid.try_admit(smooth, 1) != AdmissionVerdict::kAccepted;
+  }
+  EXPECT_TRUE(fifo_refused);
+  EXPECT_FALSE(hybrid_refused);
+}
+
+TEST(AdmissionControllerTest, UtilizationTracked) {
+  auto ac = make(Scheme::kWfq, ByteSize::megabytes(10.0));
+  const FlowSpec flow{Rate::megabits_per_second(12.0), ByteSize::kilobytes(10.0)};
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
+  EXPECT_DOUBLE_EQ(ac.utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace bufq::admission

@@ -80,80 +80,9 @@ TEST(AnalysisTest, FifoAlwaysNeedsAtLeastWfqBuffer) {
   }
 }
 
-// --------------------------------------------------------- admission
-
-TEST(AdmissionTest, WfqAcceptsWhileBothConstraintsHold) {
-  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
-                         ByteSize::kilobytes(200.0)};
-  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(50.0)};
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  // Fifth flow: 250 KB of bursts > 200 KB buffer.
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
-  EXPECT_EQ(ac.admitted_count(), 4u);
-}
-
-TEST(AdmissionTest, WfqBandwidthLimit) {
-  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
-                         ByteSize::megabytes(100.0)};
-  const FlowSpec flow{Rate::megabits_per_second(20.0), ByteSize::kilobytes(10.0)};
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBandwidthLimited);
-}
-
-TEST(AdmissionTest, FifoIsBufferLimitedBeforeWfqIs) {
-  // Same buffer: the FIFO controller must refuse a set WFQ accepts, once
-  // utilization inflates its requirement.
-  const auto buffer = ByteSize::kilobytes(200.0);
-  AdmissionController wfq{AdmissionController::Discipline::kWfq, kLink, buffer};
-  AdmissionController fifo{AdmissionController::Discipline::kFifoThresholds, kLink, buffer};
-  const FlowSpec flow{Rate::megabits_per_second(10.0), ByteSize::kilobytes(40.0)};
-  int wfq_admitted = 0;
-  int fifo_admitted = 0;
-  for (int i = 0; i < 4; ++i) {
-    if (wfq.try_admit(flow) == AdmissionVerdict::kAccepted) ++wfq_admitted;
-    if (fifo.try_admit(flow) == AdmissionVerdict::kAccepted) ++fifo_admitted;
-  }
-  EXPECT_EQ(wfq_admitted, 4);  // 160 KB of bursts fits
-  // FIFO: after 3 flows u = 30/48, B needed = 120K * 48/18 = 320K > 200K.
-  EXPECT_EQ(fifo_admitted, 2);
-}
-
-TEST(AdmissionTest, FifoFullReservationNeedsNoBufferIfNoBursts) {
-  AdmissionController ac{AdmissionController::Discipline::kFifoThresholds, kLink,
-                         ByteSize::kilobytes(1.0)};
-  const FlowSpec flow{Rate::megabits_per_second(48.0), ByteSize::zero()};
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-}
-
-TEST(AdmissionTest, FifoFullReservationWithBurstsIsBufferLimited) {
-  AdmissionController ac{AdmissionController::Discipline::kFifoThresholds, kLink,
-                         ByteSize::megabytes(100.0)};
-  const FlowSpec flow{Rate::megabits_per_second(48.0), ByteSize::bytes(1)};
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
-}
-
-TEST(AdmissionTest, ReleaseRestoresCapacity) {
-  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
-                         ByteSize::kilobytes(100.0)};
-  const FlowSpec flow{Rate::megabits_per_second(8.0), ByteSize::kilobytes(100.0)};
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kBufferLimited);
-  ac.release(flow);
-  EXPECT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-}
-
-TEST(AdmissionTest, UtilizationTracked) {
-  AdmissionController ac{AdmissionController::Discipline::kWfq, kLink,
-                         ByteSize::megabytes(10.0)};
-  const FlowSpec flow{Rate::megabits_per_second(12.0), ByteSize::kilobytes(10.0)};
-  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  ASSERT_EQ(ac.try_admit(flow), AdmissionVerdict::kAccepted);
-  EXPECT_DOUBLE_EQ(ac.utilization(), 0.5);
-}
+// Admission-control coverage lives in tests/admission_controller_test.cpp
+// against admission::AdmissionController, which consumes the closed forms
+// above as online admission tests.
 
 }  // namespace
 }  // namespace bufq

@@ -1,6 +1,8 @@
 #include "stats/collector.h"
 #include "stats/replication.h"
 
+#include "expt/churn_experiment.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -159,6 +161,46 @@ TEST(ReplicationTest, ParallelMatchesSerial) {
   const auto serial = runner.run(trial, false);
   EXPECT_DOUBLE_EQ(parallel.at("x").mean, serial.at("x").mean);
   EXPECT_DOUBLE_EQ(parallel.at("x").half_width_95, serial.at("x").half_width_95);
+}
+
+TEST(ReplicationTest, ParallelMatchesSerialOnRealSimulations) {
+  // Full churn simulations per seed, not just pseudo-work: this catches
+  // shared mutable state anywhere in the simulation stack (RNG streams,
+  // collectors, allocator-order dependence) that a pure function cannot.
+  ReplicationRunner runner{11, 4};
+  const auto trial = [](std::uint64_t seed) {
+    ChurnConfig config{
+        .link_rate = Rate::megabits_per_second(48.0),
+        .buffer = ByteSize::megabytes(1.0),
+        .scheme = ChurnScheme::kFifoThreshold,
+        .max_flows = 64,
+        .churn = {.arrival_rate_hz = 80.0,
+                  .mean_holding = Time::milliseconds(300),
+                  .mix = {{.profile = {.peak_rate = Rate::megabits_per_second(8.0),
+                                       .avg_rate = Rate::megabits_per_second(1.0),
+                                       .bucket = ByteSize::kilobytes(16.0),
+                                       .token_rate = Rate::megabits_per_second(1.0),
+                                       .mean_burst = ByteSize::kilobytes(16.0),
+                                       .regulated = true},
+                           .weight = 1.0}}},
+        .warmup = Time::milliseconds(500),
+        .duration = Time::seconds(2),
+        .seed = seed,
+    };
+    const ChurnResult r = run_churn_experiment(config);
+    return std::map<std::string, double>{
+        {"blocking", r.blocking_probability},
+        {"utilization", r.utilization},
+        {"admitted", static_cast<double>(r.counters.admitted)},
+    };
+  };
+  const auto parallel = runner.run(trial, true);
+  const auto serial = runner.run(trial, false);
+  for (const char* metric : {"blocking", "utilization", "admitted"}) {
+    EXPECT_DOUBLE_EQ(parallel.at(metric).mean, serial.at(metric).mean) << metric;
+    EXPECT_DOUBLE_EQ(parallel.at(metric).half_width_95, serial.at(metric).half_width_95)
+        << metric;
+  }
 }
 
 TEST(ReplicationTest, SeedsAccessor) {
