@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Compiles every public header under src/ as a standalone translation unit,
+# so a header that silently leans on its includer's #includes fails here
+# instead of in the next refactor.  Run from anywhere; exits non-zero and
+# lists the offending headers if any are not self-sufficient.
+#
+# Usage: scripts/check_headers.sh [compiler]   (default: c++)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${1:-c++}"
+std="-std=c++20"
+
+failed=()
+checked=0
+shim="$(mktemp --suffix=.cpp)"
+errlog="$(mktemp)"
+trap 'rm -f "$shim" "$errlog"' EXIT
+
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  # A shim TU, not the header itself, so `#pragma once in main file` does
+  # not fire.
+  printf '#include "%s"\n' "${header#"$repo_root"/src/}" > "$shim"
+  if ! "$cxx" $std -I "$repo_root/src" -Wall -Wextra -Wshadow -Wconversion -Werror \
+       -fsyntax-only "$shim" 2>"$errlog"; then
+    failed+=("$header")
+    echo "FAIL: ${header#"$repo_root"/}"
+    sed 's/^/    /' "$errlog"
+  fi
+done < <(find "$repo_root/src" -name '*.h' | sort)
+
+if [ "${#failed[@]}" -ne 0 ]; then
+  echo "${#failed[@]} of $checked headers are not self-sufficient."
+  exit 1
+fi
+echo "All $checked headers compile standalone."

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq::admission {
 
 DynamicBufferManager::DynamicBufferManager(ByteSize capacity, FlowTable& table, Policy policy,
@@ -18,7 +20,8 @@ DynamicBufferManager::DynamicBufferManager(ByteSize capacity, FlowTable& table, 
   holes_ = capacity_.count() - headroom_;
 }
 
-bool DynamicBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool DynamicBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
+  static_cast<void>(now);
   assert(flow >= 0);
   const auto slot = static_cast<std::uint32_t>(flow);
   // A packet can outlive its flow only through a bug in the churn driver's
@@ -33,6 +36,12 @@ bool DynamicBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now
     if (total_ + bytes > capacity_.count()) return false;
     table_.add_occupancy(slot, bytes);
     total_ += bytes;
+    BUFQ_CHECK(table_.occupancy(slot) <= t, check::Invariant::kFlowBound, flow, now,
+               static_cast<double>(table_.occupancy(slot)), static_cast<double>(t),
+               "churn-table admit left flow above its threshold");
+    BUFQ_CHECK(total_ <= capacity_.count(), check::Invariant::kCapacity, flow, now,
+               static_cast<double>(total_), static_cast<double>(capacity_.count()),
+               "churn-table admit overflowed the buffer");
     return true;
   }
 
@@ -53,25 +62,47 @@ bool DynamicBufferManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now
   }
   table_.add_occupancy(slot, bytes);
   total_ += bytes;
+  check_pools(flow, now);
   return true;
 }
 
-void DynamicBufferManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
+void DynamicBufferManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  static_cast<void>(now);
   assert(flow >= 0);
   const auto slot = static_cast<std::uint32_t>(flow);
   assert(table_.active(slot) && "release for a flow that was already recycled");
   table_.add_occupancy(slot, -bytes);
   total_ -= bytes;
-  assert(table_.occupancy(slot) >= 0);
-  assert(total_ >= 0);
+  BUFQ_CHECK(table_.occupancy(slot) >= 0, check::Invariant::kConservation, flow, now,
+             static_cast<double>(table_.occupancy(slot)), 0.0,
+             "release drove churn-table occupancy negative");
+  BUFQ_CHECK(total_ >= 0, check::Invariant::kConservation, flow, now,
+             static_cast<double>(total_), 0.0, "release drove total occupancy negative");
   if (policy_ == Policy::kSharing) {
     // Freed space replenishes the headroom first (up to its cap); only the
     // overflow becomes holes again — the paper's departure pseudocode.
     headroom_ += bytes;
     holes_ += std::max<std::int64_t>(headroom_ - max_headroom_, 0);
     headroom_ = std::min(headroom_, max_headroom_);
-    assert(holes_ + headroom_ + total_ == capacity_.count());
+    check_pools(flow, now);
   }
+}
+
+/// Section 3.3 pool discipline under churn: pools within bounds and, with
+/// the live occupancy, exactly tiling the buffer.
+void DynamicBufferManager::check_pools(FlowId flow, Time now) const {
+  BUFQ_CHECK(holes_ >= 0, check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_), 0.0, "sharing holes went negative");
+  BUFQ_CHECK(headroom_ >= 0 && headroom_ <= max_headroom_, check::Invariant::kSharingPools,
+             flow, now, static_cast<double>(headroom_), static_cast<double>(max_headroom_),
+             "sharing headroom outside [0, H]");
+  BUFQ_CHECK(holes_ + headroom_ + total_ == capacity_.count(),
+             check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_ + headroom_ + total_),
+             static_cast<double>(capacity_.count()),
+             "holes + headroom + occupancy no longer tile the buffer");
+  static_cast<void>(flow);
+  static_cast<void>(now);
 }
 
 std::int64_t DynamicBufferManager::occupancy(FlowId flow) const {

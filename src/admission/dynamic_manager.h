@@ -45,6 +45,8 @@ class DynamicBufferManager final : public BufferManager {
   [[nodiscard]] std::int64_t headroom() const { return headroom_; }
 
  private:
+  void check_pools(FlowId flow, Time now) const;
+
   ByteSize capacity_;
   FlowTable& table_;
   Policy policy_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "check/invariants.h"
+
 namespace bufq::admission {
 
 FlowTable::FlowTable(std::size_t initial_slots) {
@@ -54,6 +56,10 @@ FlowHandle FlowTable::admit(const FlowSpec& spec, std::int64_t threshold_bytes) 
 
 void FlowTable::teardown(FlowHandle handle) {
   assert(valid(handle) && "teardown of a stale or never-issued handle");
+  BUFQ_CHECK(occupancy_[handle.slot] == 0, check::Invariant::kConservation,
+             static_cast<FlowId>(handle.slot), Time::zero(),
+             static_cast<double>(occupancy_[handle.slot]), 0.0,
+             "flow recycled before its buffer occupancy drained");
   assert(occupancy_[handle.slot] == 0 && "flow must drain before its slot is recycled");
   ++generation_[handle.slot];  // odd -> even: free
   free_slots_.push_back(handle.slot);

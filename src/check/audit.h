@@ -1,0 +1,64 @@
+// Black-box audit of a BufferManager: a decorator that forwards every call
+// to the wrapped manager while keeping its own shadow accounting, then
+// cross-checks the two after each operation.  Because the shadow state is
+// independent of the manager under test, the audit catches exactly the
+// bugs the paper's proofs assume away — lost releases, double admits,
+// counters drifting from the per-flow sum, occupancy past the buffer or
+// past a conformant flow's Prop-1/2 bound.
+//
+// Unlike the BUFQ_CHECK instrumentation (compiled out in Release), the
+// auditor is ordinary runtime code, available in every build type: tests
+// wrap a manager when they want the audit, and pay for it only then.
+// Violations go to InvariantChecker::global().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.h"
+#include "core/buffer_manager.h"
+
+namespace bufq::check {
+
+class AuditedBufferManager final : public BufferManager {
+ public:
+  /// Audits `inner` for flows [0, flow_count).  `inner` must outlive the
+  /// auditor.  `flow_bounds`, when non-empty, gives the per-flow occupancy
+  /// bound of each conformant flow (a Prop-1/2 threshold, in bytes);
+  /// flows with a negative bound are exempt (non-conformant / adaptive).
+  AuditedBufferManager(BufferManager& inner, std::size_t flow_count,
+                       std::vector<std::int64_t> flow_bounds = {});
+
+  [[nodiscard]] bool try_admit(FlowId flow, std::int64_t bytes, Time now) override;
+  void release(FlowId flow, std::int64_t bytes, Time now) override;
+
+  [[nodiscard]] std::int64_t occupancy(FlowId flow) const override {
+    return inner_.occupancy(flow);
+  }
+  [[nodiscard]] std::int64_t total_occupancy() const override {
+    return inner_.total_occupancy();
+  }
+  [[nodiscard]] ByteSize capacity() const override { return inner_.capacity(); }
+
+  /// Operations audited so far (each admit/release is one audit).
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+
+  /// O(flow_count) sweep: re-verifies Σ_i q_i == Q == shadow total against
+  /// the inner manager.  Called automatically every kFullAuditPeriod
+  /// operations; tests may also call it at quiescent points.
+  void full_audit(Time now) const;
+
+  static constexpr std::uint64_t kFullAuditPeriod = 1024;
+
+ private:
+  /// O(1) cross-check of the flow touched by the last operation.
+  void verify(FlowId flow, Time now);
+
+  BufferManager& inner_;
+  std::vector<std::int64_t> shadow_flow_;
+  std::vector<std::int64_t> flow_bounds_;
+  std::int64_t shadow_total_{0};
+  std::uint64_t audits_run_{0};
+};
+
+}  // namespace bufq::check

@@ -1,0 +1,125 @@
+#include "check/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace bufq::check {
+
+const char* to_string(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kConservation:
+      return "conservation";
+    case Invariant::kCapacity:
+      return "capacity";
+    case Invariant::kFlowBound:
+      return "flow-bound";
+    case Invariant::kSharingPools:
+      return "sharing-pools";
+    case Invariant::kVirtualTime:
+      return "virtual-time";
+    case Invariant::kEventClock:
+      return "event-clock";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << "[" << check::to_string(invariant) << "]";
+  if (flow >= 0) out << " flow " << flow;
+  out << " t=" << time.to_string() << " observed=" << observed << " bound=" << bound;
+  if (!detail.empty()) out << " — " << detail;
+  return out.str();
+}
+
+InvariantChecker& InvariantChecker::global() {
+  static InvariantChecker instance;
+  return instance;
+}
+
+void InvariantChecker::report(Violation violation) {
+  bool do_abort = false;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (handler_) {
+      handler_(violation);
+    } else {
+      ++violation_count_;
+      if (stored_.size() < kMaxStored) stored_.push_back(violation);
+    }
+    do_abort = abort_on_violation_;
+  }
+  if (do_abort) {
+    std::fprintf(stderr, "bufq invariant violation: %s\n", violation.to_string().c_str());
+    std::abort();
+  }
+}
+
+std::uint64_t InvariantChecker::checks_run() const {
+  return checks_run_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t InvariantChecker::violation_count() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return violation_count_;
+}
+
+std::vector<Violation> InvariantChecker::violations() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return stored_;
+}
+
+std::string InvariantChecker::report_text() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (violation_count_ == 0) return {};
+  std::ostringstream out;
+  out << violation_count_ << " invariant violation(s)";
+  if (violation_count_ > stored_.size()) {
+    out << " (first " << stored_.size() << " shown)";
+  }
+  out << ":\n";
+  for (const Violation& v : stored_) out << "  " << v.to_string() << "\n";
+  return out.str();
+}
+
+void InvariantChecker::clear() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  checks_run_.store(0, std::memory_order_relaxed);
+  violation_count_ = 0;
+  stored_.clear();
+}
+
+void InvariantChecker::set_handler(Handler handler) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  handler_ = std::move(handler);
+}
+
+void InvariantChecker::set_abort_on_violation(bool abort_on_violation) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  abort_on_violation_ = abort_on_violation;
+}
+
+ScopedViolationCapture::ScopedViolationCapture() {
+  InvariantChecker::global().set_handler([this](const Violation& v) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    captured_.push_back(v);
+  });
+}
+
+ScopedViolationCapture::~ScopedViolationCapture() {
+  InvariantChecker::global().set_handler(nullptr);
+}
+
+std::size_t ScopedViolationCapture::count() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return captured_.size();
+}
+
+std::vector<Violation> ScopedViolationCapture::violations() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return captured_;
+}
+
+}  // namespace bufq::check

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 AccountingBufferManager::AccountingBufferManager(ByteSize capacity, std::size_t flow_count)
@@ -14,33 +16,40 @@ std::int64_t AccountingBufferManager::occupancy(FlowId flow) const {
   return per_flow_[static_cast<std::size_t>(flow)];
 }
 
-void AccountingBufferManager::account_admit(FlowId flow, std::int64_t bytes) {
+void AccountingBufferManager::account_admit(FlowId flow, std::int64_t bytes, Time now) {
   assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow_.size());
   assert(bytes >= 0);
   per_flow_[static_cast<std::size_t>(flow)] += bytes;
   total_ += bytes;
-  assert(total_ <= capacity_.count());
+  BUFQ_CHECK(total_ <= capacity_.count(), check::Invariant::kCapacity, flow, now,
+             static_cast<double>(total_), static_cast<double>(capacity_.count()),
+             "admit pushed total occupancy past the buffer capacity");
+  static_cast<void>(now);
 }
 
-void AccountingBufferManager::account_release(FlowId flow, std::int64_t bytes) {
+void AccountingBufferManager::account_release(FlowId flow, std::int64_t bytes, Time now) {
   assert(flow >= 0 && static_cast<std::size_t>(flow) < per_flow_.size());
   per_flow_[static_cast<std::size_t>(flow)] -= bytes;
   total_ -= bytes;
-  assert(per_flow_[static_cast<std::size_t>(flow)] >= 0);
-  assert(total_ >= 0);
+  BUFQ_CHECK(per_flow_[static_cast<std::size_t>(flow)] >= 0, check::Invariant::kConservation,
+             flow, now, static_cast<double>(per_flow_[static_cast<std::size_t>(flow)]), 0.0,
+             "release drove per-flow occupancy negative");
+  BUFQ_CHECK(total_ >= 0, check::Invariant::kConservation, flow, now,
+             static_cast<double>(total_), 0.0, "release drove total occupancy negative");
+  static_cast<void>(now);
 }
 
 TailDropManager::TailDropManager(ByteSize capacity, std::size_t flow_count)
     : AccountingBufferManager{capacity, flow_count} {}
 
-bool TailDropManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool TailDropManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   if (total_occupancy() + bytes > capacity().count()) return false;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
   return true;
 }
 
-void TailDropManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void TailDropManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
 }
 
 }  // namespace bufq

@@ -42,8 +42,10 @@ class AccountingBufferManager : public BufferManager {
   [[nodiscard]] std::size_t flow_count() const { return per_flow_.size(); }
 
  protected:
-  void account_admit(FlowId flow, std::int64_t bytes);
-  void account_release(FlowId flow, std::int64_t bytes);
+  /// `now` is forwarded into the invariant audit so violation reports carry
+  /// the simulated time of the offending operation.
+  void account_admit(FlowId flow, std::int64_t bytes, Time now);
+  void account_release(FlowId flow, std::int64_t bytes, Time now);
 
  private:
   ByteSize capacity_;

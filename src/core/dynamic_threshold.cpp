@@ -16,15 +16,15 @@ std::int64_t DynamicThresholdManager::current_threshold() const {
   return static_cast<std::int64_t>(alpha_ * free_space);
 }
 
-bool DynamicThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool DynamicThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   if (total_occupancy() + bytes > capacity().count()) return false;
   if (occupancy(flow) + bytes > current_threshold()) return false;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
   return true;
 }
 
-void DynamicThresholdManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void DynamicThresholdManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
 }
 
 }  // namespace bufq

@@ -17,7 +17,7 @@ void RedManager::update_average() {
   avg_ += params_.weight * (static_cast<double>(total_occupancy()) - avg_);
 }
 
-bool RedManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool RedManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   update_average();
   if (total_occupancy() + bytes > capacity().count()) return false;
 
@@ -41,12 +41,12 @@ bool RedManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
   } else {
     since_last_drop_ = 0;
   }
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
   return true;
 }
 
-void RedManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void RedManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
 }
 
 FredManager::FredManager(ByteSize capacity, std::size_t flow_count, FredParams params, Rng rng)
@@ -70,7 +70,7 @@ double FredManager::fair_share() const {
                   static_cast<double>(params_.min_q));
 }
 
-bool FredManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool FredManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   avg_ += params_.red.weight * (static_cast<double>(total_occupancy()) - avg_);
   if (total_occupancy() + bytes > capacity().count()) return false;
 
@@ -103,12 +103,12 @@ bool FredManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
   }
 
   if (q == 0) ++active_flows_;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
   return true;
 }
 
-void FredManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void FredManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
   if (occupancy(flow) == 0) {
     assert(active_flows_ > 0);
     --active_flows_;

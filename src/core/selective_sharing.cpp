@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 SelectiveSharingManager::SelectiveSharingManager(ByteSize capacity, Rate link_rate,
@@ -40,7 +42,7 @@ SharingClass SelectiveSharingManager::sharing_class(FlowId flow) const {
   return classes_[static_cast<std::size_t>(flow)];
 }
 
-bool SelectiveSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool SelectiveSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   const std::int64_t q = occupancy(flow);
   const std::int64_t t = threshold(flow);
   if (q + bytes <= t) {
@@ -50,7 +52,8 @@ bool SelectiveSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*
     if (from_headroom > headroom_) return false;
     holes_ -= from_holes;
     headroom_ -= from_headroom;
-    account_admit(flow, bytes);
+    account_admit(flow, bytes, now);
+    check_pools(flow, now);
     return true;
   }
   // Excess space: adaptive flows only, under the Section 3.3 fairness
@@ -61,17 +64,41 @@ bool SelectiveSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*
   const std::int64_t holes_after = holes_ - bytes;
   if (excess_after > holes_after) return false;
   holes_ -= bytes;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
+  check_pools(flow, now);
   return true;
 }
 
-void SelectiveSharingManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void SelectiveSharingManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
   headroom_ += bytes;
   const std::int64_t cap = std::min(max_headroom_.count(), capacity().count());
   holes_ += std::max(headroom_ - cap, static_cast<std::int64_t>(0));
   headroom_ = std::min(headroom_, cap);
-  assert(holes_ + headroom_ + total_occupancy() == capacity().count());
+  check_pools(flow, now);
+}
+
+void SelectiveSharingManager::check_pools(FlowId flow, Time now) const {
+  BUFQ_CHECK(holes_ >= 0, check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_), 0.0, "selective-sharing holes went negative");
+  BUFQ_CHECK(headroom_ >= 0 && headroom_ <= max_headroom_.count(),
+             check::Invariant::kSharingPools, flow, now, static_cast<double>(headroom_),
+             static_cast<double>(max_headroom_.count()),
+             "selective-sharing headroom outside [0, H]");
+  BUFQ_CHECK(holes_ + headroom_ + total_occupancy() == capacity().count(),
+             check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_ + headroom_ + total_occupancy()),
+             static_cast<double>(capacity().count()),
+             "holes + headroom + occupancy no longer tile the buffer");
+  // Blocked and reserved flows must never sit above their threshold; only
+  // adaptive flows may borrow excess space (Section 3.3 fairness rule).
+  BUFQ_CHECK(sharing_class(flow) == SharingClass::kAdaptive ||
+                 occupancy(flow) <= threshold(flow),
+             check::Invariant::kFlowBound, flow, now, static_cast<double>(occupancy(flow)),
+             static_cast<double>(threshold(flow)),
+             "non-adaptive flow sits above its threshold");
+  static_cast<void>(flow);
+  static_cast<void>(now);
 }
 
 }  // namespace bufq

@@ -52,6 +52,7 @@ class SelectiveSharingManager final : public AccountingBufferManager {
 
  private:
   void init_pools();
+  void check_pools(FlowId flow, Time now) const;
 
   std::vector<std::int64_t> thresholds_;
   std::vector<SharingClass> classes_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 BufferSharingManager::BufferSharingManager(ByteSize capacity, Rate link_rate,
@@ -35,7 +37,7 @@ std::int64_t BufferSharingManager::threshold(FlowId flow) const {
   return thresholds_[static_cast<std::size_t>(flow)];
 }
 
-bool BufferSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool BufferSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   const std::int64_t q = occupancy(flow);
   const std::int64_t t = threshold(flow);
   if (q + bytes <= t) {
@@ -45,7 +47,8 @@ bool BufferSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now
     if (from_headroom > headroom_) return false;
     holes_ -= from_holes;
     headroom_ -= from_headroom;
-    account_admit(flow, bytes);
+    account_admit(flow, bytes, now);
+    check_pools(flow, now);
     return true;
   }
   // Above threshold: holes only, and the flow's excess occupancy after
@@ -55,19 +58,38 @@ bool BufferSharingManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now
   const std::int64_t holes_after = holes_ - bytes;
   if (excess_after > holes_after) return false;
   holes_ -= bytes;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
+  check_pools(flow, now);
   return true;
 }
 
-void BufferSharingManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void BufferSharingManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
   // Freed space replenishes the headroom first (up to its cap), and only
   // the overflow becomes holes again — the paper's departure pseudocode.
   headroom_ += bytes;
   const std::int64_t cap = std::min(max_headroom_.count(), capacity().count());
   holes_ += std::max(headroom_ - cap, static_cast<std::int64_t>(0));
   headroom_ = std::min(headroom_, cap);
-  assert(holes_ + headroom_ + total_occupancy() == capacity().count());
+  check_pools(flow, now);
+}
+
+/// Section 3.3 pool discipline: both pools stay within bounds and, with
+/// the current occupancy, exactly tile the buffer.
+void BufferSharingManager::check_pools(FlowId flow, Time now) const {
+  BUFQ_CHECK(holes_ >= 0, check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_), 0.0, "sharing holes went negative");
+  BUFQ_CHECK(headroom_ >= 0 && headroom_ <= max_headroom_.count(),
+             check::Invariant::kSharingPools, flow, now, static_cast<double>(headroom_),
+             static_cast<double>(max_headroom_.count()),
+             "sharing headroom outside [0, H]");
+  BUFQ_CHECK(holes_ + headroom_ + total_occupancy() == capacity().count(),
+             check::Invariant::kSharingPools, flow, now,
+             static_cast<double>(holes_ + headroom_ + total_occupancy()),
+             static_cast<double>(capacity().count()),
+             "holes + headroom + occupancy no longer tile the buffer");
+  static_cast<void>(flow);
+  static_cast<void>(now);
 }
 
 }  // namespace bufq

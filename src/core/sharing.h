@@ -58,6 +58,7 @@ class BufferSharingManager final : public AccountingBufferManager {
 
  private:
   void init_pools();
+  void check_pools(FlowId flow, Time now) const;
 
   std::vector<std::int64_t> thresholds_;
   ByteSize max_headroom_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 std::vector<std::int64_t> compute_thresholds(const std::vector<FlowSpec>& flows, ByteSize buffer,
@@ -43,15 +45,18 @@ std::int64_t ThresholdManager::threshold(FlowId flow) const {
   return thresholds_[static_cast<std::size_t>(flow)];
 }
 
-bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time /*now*/) {
+bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   if (total_occupancy() + bytes > capacity().count()) return false;
   if (occupancy(flow) + bytes > threshold(flow)) return false;
-  account_admit(flow, bytes);
+  account_admit(flow, bytes, now);
+  BUFQ_CHECK(occupancy(flow) <= threshold(flow), check::Invariant::kFlowBound, flow, now,
+             static_cast<double>(occupancy(flow)), static_cast<double>(threshold(flow)),
+             "fixed-partition admit left flow above its Prop-2 threshold");
   return true;
 }
 
-void ThresholdManager::release(FlowId flow, std::int64_t bytes, Time /*now*/) {
-  account_release(flow, bytes);
+void ThresholdManager::release(FlowId flow, std::int64_t bytes, Time now) {
+  account_release(flow, bytes, now);
 }
 
 }  // namespace bufq

@@ -1,5 +1,7 @@
 #include "sched/fifo.h"
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 FifoScheduler::FifoScheduler(BufferManager& manager) : manager_{manager} {}
@@ -19,6 +21,8 @@ std::optional<Packet> FifoScheduler::dequeue(Time now) {
   Packet packet = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= packet.size_bytes;
+  BUFQ_CHECK(backlog_bytes_ >= 0, check::Invariant::kConservation, packet.flow, now,
+             static_cast<double>(backlog_bytes_), 0.0, "FIFO backlog bytes went negative");
   manager_.release(packet.flow, packet.size_bytes, now);
   return packet;
 }

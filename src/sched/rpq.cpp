@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 RpqScheduler::RpqScheduler(BufferManager& manager, std::vector<Time> delay_targets,
@@ -41,6 +43,8 @@ std::optional<Packet> RpqScheduler::dequeue(Time now) {
   if (it->second.empty()) calendar_.erase(it);
   --backlogged_packets_;
   backlog_bytes_ -= packet.size_bytes;
+  BUFQ_CHECK(backlog_bytes_ >= 0, check::Invariant::kConservation, packet.flow, now,
+             static_cast<double>(backlog_bytes_), 0.0, "RPQ backlog bytes went negative");
   manager_.release(packet.flow, packet.size_bytes, now);
   return packet;
 }

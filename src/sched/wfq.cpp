@@ -3,6 +3,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "check/invariants.h"
+
 namespace bufq {
 namespace {
 
@@ -49,15 +51,21 @@ std::size_t WfqScheduler::class_queue_length(std::size_t cls) const {
 }
 
 void WfqScheduler::advance_virtual_time(Time now) {
-  assert(now >= vt_updated_);
+  BUFQ_CHECK(now >= vt_updated_, check::Invariant::kVirtualTime, -1, now, now.to_seconds(),
+             vt_updated_.to_seconds(), "WFQ clock asked to advance backwards");
   if (active_weight_ > 0.0) {
     // PGPS virtual time: dV/dt = R / sum(weights of backlogged classes),
     // with the packet-system backlog approximating the GPS busy set.  V
     // and the finish stamps are both in bits-per-unit-weight, so a class
     // returning from idle is stamped at the current fair-share level and
     // can neither claim retroactive credit nor be penalized for idling.
+    [[maybe_unused]] const double previous = virtual_time_;
     virtual_time_ += (now - vt_updated_).to_seconds() * link_rate_.bps() / active_weight_;
+    BUFQ_CHECK(virtual_time_ >= previous, check::Invariant::kVirtualTime, -1, now,
+               virtual_time_, previous, "WFQ virtual time moved backwards");
   }
+  BUFQ_CHECK(active_weight_ >= 0.0, check::Invariant::kVirtualTime, -1, now, active_weight_,
+             0.0, "WFQ active weight went negative");
   vt_updated_ = now;
 }
 
@@ -110,6 +118,8 @@ std::optional<Packet> WfqScheduler::dequeue(Time now) {
 
   --backlogged_packets_;
   backlog_bytes_ -= head.packet.size_bytes;
+  BUFQ_CHECK(backlog_bytes_ >= 0, check::Invariant::kConservation, head.packet.flow, now,
+             static_cast<double>(backlog_bytes_), 0.0, "WFQ backlog bytes went negative");
   manager_.release(head.packet.flow, head.packet.size_bytes, now);
   return head.packet;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 Link::Link(Simulator& sim, QueueDiscipline& queue, Rate rate)
@@ -20,6 +22,8 @@ void Link::try_transmit() {
   if (!next) return;
   busy_ = true;
   const Time tx = rate_.transmission_time(next->size_bytes);
+  BUFQ_CHECK(tx >= Time::zero(), check::Invariant::kEventClock, next->flow, sim_.now(),
+             tx.to_seconds(), 0.0, "negative transmission time");
   sim_.in(tx, [this, packet = *next] { finish_transmission(packet); });
 }
 

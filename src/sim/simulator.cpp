@@ -3,10 +3,16 @@
 #include <cassert>
 #include <utility>
 
+#include "check/invariants.h"
+
 namespace bufq {
 
 void Simulator::at(Time t, Action action) {
+  BUFQ_CHECK(t >= now_, check::Invariant::kEventClock, -1, now_, t.to_seconds(),
+             now_.to_seconds(), "event scheduled in the past");
+#if !BUFQ_CHECKS_ENABLED
   assert(t >= now_ && "cannot schedule in the past");
+#endif
   heap_.push(Event{t, next_seq_++, std::move(action)});
 }
 
@@ -21,6 +27,8 @@ bool Simulator::step() {
   // handle before popping.
   Event ev = heap_.top();
   heap_.pop();
+  BUFQ_CHECK(ev.time >= now_, check::Invariant::kEventClock, -1, now_, ev.time.to_seconds(),
+             now_.to_seconds(), "event calendar ran backwards");
   now_ = ev.time;
   ++processed_;
   ev.action();

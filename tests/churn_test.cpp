@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "invariant_audit.h"
+
 namespace bufq {
 namespace {
 

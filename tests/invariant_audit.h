@@ -1,0 +1,27 @@
+// Suite-wide invariant audit: include this header (once per test binary)
+// to fail the run if any BUFQ_CHECK or AuditedBufferManager violation was
+// reported while its tests executed.  In builds without BUFQ_ENABLE_CHECKS
+// the macro call sites are compiled out, so only decorator-driven audits
+// can fire; the environment is still harmless to register.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.h"
+
+namespace bufq::testing {
+
+class InvariantAuditEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { check::InvariantChecker::global().clear(); }
+  void TearDown() override {
+    const auto& checker = check::InvariantChecker::global();
+    EXPECT_EQ(checker.violation_count(), 0u) << checker.report_text();
+  }
+};
+
+// gtest owns the environment; the pointer only anchors the registration.
+inline ::testing::Environment* const kInvariantAuditEnvironment =
+    ::testing::AddGlobalTestEnvironment(new InvariantAuditEnvironment);
+
+}  // namespace bufq::testing

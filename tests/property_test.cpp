@@ -11,6 +11,7 @@
 
 #include "core/sharing.h"
 #include "core/threshold.h"
+#include "invariant_audit.h"
 #include "sched/fifo.h"
 #include "sched/rpq.h"
 #include "sched/wfq.h"

@@ -8,6 +8,7 @@
 
 #include "expt/experiment.h"
 #include "expt/workloads.h"
+#include "invariant_audit.h"
 
 namespace bufq {
 namespace {
