@@ -3,46 +3,9 @@
 //
 // Paper shape: the hybrid's excess-bandwidth split stays close to
 // WFQ+sharing's rate-proportional split.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options = parse_options(argc, argv, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0});
-  print_banner(std::cout, "Figure 10",
-               "hybrid case 1 (3 queues): non-conformant flow throughput vs buffer size",
-               options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table1_flows();
-
-  auto extract = [](const ExperimentResult& r) {
-    return std::map<std::string, double>{
-        {"flow6_mbps", r.flow_throughput_mbps(6)},
-        {"flow8_mbps", r.flow_throughput_mbps(8)},
-    };
-  };
-
-  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "flow6_mbps", "flow6_ci95", "flow8_mbps",
-                            "flow8_ci95", "ratio_8_over_6"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant :
-         hybrid_figure_schemes(ByteSize::megabytes(2.0), case1_groups())) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, extract);
-      const auto& f6 = metrics.at("flow6_mbps");
-      const auto& f8 = metrics.at("flow8_mbps");
-      csv.row({format_double(buffer_mb), variant.name, format_double(f6.mean),
-               format_double(f6.half_width_95), format_double(f8.mean),
-               format_double(f8.half_width_95),
-               format_double(f6.mean > 0 ? f8.mean / f6.mean : 0.0)});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(10, argc, argv);
 }

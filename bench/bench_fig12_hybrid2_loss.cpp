@@ -5,46 +5,9 @@
 // (20-29) nearly as well as under per-flow WFQ+sharing; the moderate
 // group suffers a little residual loss from its own transient
 // profile violations.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options = parse_options(argc, argv, {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0});
-  print_banner(std::cout, "Figure 12",
-               "hybrid case 2: conformant + moderate flow loss vs buffer size", options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table2_flows();
-  const auto conformant = table2_conformant_flows();
-  const auto moderate = table2_moderate_flows();
-
-  auto extract = [&](const ExperimentResult& r) {
-    return std::map<std::string, double>{
-        {"conformant_loss", r.loss_ratio(conformant)},
-        {"moderate_loss", r.loss_ratio(moderate)},
-    };
-  };
-
-  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "conformant_loss", "conf_ci95",
-                            "moderate_loss", "mod_ci95"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant :
-         hybrid_figure_schemes(ByteSize::megabytes(2.0), case2_groups())) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, extract);
-      const auto& c = metrics.at("conformant_loss");
-      const auto& m = metrics.at("moderate_loss");
-      csv.row({format_double(buffer_mb), variant.name, format_double(c.mean),
-               format_double(c.half_width_95), format_double(m.mean),
-               format_double(m.half_width_95)});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(12, argc, argv);
 }

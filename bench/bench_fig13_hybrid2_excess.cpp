@@ -4,48 +4,9 @@
 // Paper shape: the hybrid grants the aggressive group access to idle
 // bandwidth comparable to WFQ+sharing — enough to exceed their tiny
 // reservations, but not enough to hurt the protected groups.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options = parse_options(argc, argv, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0});
-  print_banner(std::cout, "Figure 13",
-               "hybrid case 2: aggressive-group throughput vs buffer size", options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table2_flows();
-
-  auto extract = [](const ExperimentResult& r) {
-    double aggressive = 0.0;
-    for (FlowId f = 20; f < 30; ++f) aggressive += r.flow_throughput_mbps(f);
-    double moderate = 0.0;
-    for (FlowId f = 10; f < 20; ++f) moderate += r.flow_throughput_mbps(f);
-    return std::map<std::string, double>{
-        {"aggressive_mbps", aggressive},
-        {"moderate_mbps", moderate},
-    };
-  };
-
-  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "aggressive_mbps", "aggr_ci95",
-                            "moderate_mbps", "mod_ci95"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant :
-         hybrid_figure_schemes(ByteSize::megabytes(2.0), case2_groups())) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, extract);
-      const auto& a = metrics.at("aggressive_mbps");
-      const auto& m = metrics.at("moderate_mbps");
-      csv.row({format_double(buffer_mb), variant.name, format_double(a.mean),
-               format_double(a.half_width_95), format_double(m.mean),
-               format_double(m.half_width_95)});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(13, argc, argv);
 }

@@ -5,44 +5,9 @@
 // Paper shape: WFQ+thresholds splits excess roughly in proportion to the
 // reserved rates (flow8/flow6 ~ 5); the other schemes do not achieve a
 // consistent split.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options = parse_options(argc, argv, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0});
-  print_banner(std::cout, "Figure 3",
-               "non-conformant flow throughput (flows 6 and 8) vs buffer size", options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table1_flows();
-
-  auto extract = [](const ExperimentResult& r) {
-    return std::map<std::string, double>{
-        {"flow6_mbps", r.flow_throughput_mbps(6)},
-        {"flow8_mbps", r.flow_throughput_mbps(8)},
-    };
-  };
-
-  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "flow6_mbps", "flow6_ci95", "flow8_mbps",
-                            "flow8_ci95", "ratio_8_over_6"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant : threshold_figure_schemes()) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, extract);
-      const auto& f6 = metrics.at("flow6_mbps");
-      const auto& f8 = metrics.at("flow8_mbps");
-      csv.row({format_double(buffer_mb), variant.name, format_double(f6.mean),
-               format_double(f6.half_width_95), format_double(f8.mean),
-               format_double(f8.half_width_95),
-               format_double(f6.mean > 0 ? f8.mean / f6.mean : 0.0)});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(3, argc, argv);
 }

@@ -4,37 +4,9 @@
 // Paper shape: the utilization gained by sharing (Figure 4) does not cost
 // the conformant flows their protection — losses stay near the threshold
 // scheme's, far below the no-BM curves.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options =
-      parse_options(argc, argv, {0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0});
-  print_banner(std::cout, "Figure 5",
-               "conformant-flow loss vs buffer size, buffer sharing (H = 2 MB)", options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table1_flows();
-  const auto conformant = table1_conformant_flows();
-
-  CsvWriter csv{std::cout, {"buffer_mb", "scheme", "loss_ratio", "ci95"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant : sharing_figure_schemes(ByteSize::megabytes(2.0))) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, [&](const ExperimentResult& r) {
-        return conformant_loss_metric(r, conformant);
-      });
-      const auto& s = metrics.at("loss_ratio");
-      csv.row({format_double(buffer_mb), variant.name, format_double(s.mean),
-               format_double(s.half_width_95)});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(5, argc, argv);
 }

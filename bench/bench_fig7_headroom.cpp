@@ -4,52 +4,15 @@
 // Paper shape: increasing the headroom protects conformant flows (loss
 // decreases) while shrinking the shared space available to
 // non-conformant flows.
-#include <iostream>
-
+//
+// The sweep variable here is the headroom; the buffer is fixed per
+// series.  The paper uses B = 1 MB — at that size our sharing rule
+// already protects conformant flows at any H, so a stressed 0.3 MB
+// series is included to make the headroom effect visible (see
+// EXPERIMENTS.md).
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  // The sweep variable here is the headroom; the buffer is fixed per
-  // series.  The paper uses B = 1 MB — at that size our sharing rule
-  // already protects conformant flows at any H, so a stressed 0.3 MB
-  // series is included to make the headroom effect visible (see
-  // EXPERIMENTS.md).
-  auto options = parse_options(argc, argv, {1.0, 0.3});
-  print_banner(std::cout, "Figure 7",
-               "conformant-flow loss vs headroom H at fixed buffer sizes", options);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table1_flows();
-  const auto conformant = table1_conformant_flows();
-
-  CsvWriter csv{std::cout, {"buffer_mb", "headroom_kb", "scheme", "loss_ratio", "ci95",
-                            "throughput_mbps"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    // Sweep H from zero to the full buffer.
-    for (double fraction : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0}) {
-      const double h_kb = fraction * buffer_mb * 1e3;
-      for (auto sched : {SchedulerKind::kFifo, SchedulerKind::kWfq}) {
-        config.scheme.scheduler = sched;
-        config.scheme.manager = ManagerKind::kSharing;
-        config.scheme.headroom = ByteSize::kilobytes(h_kb);
-        const auto metrics = replicate(config, options, [&](const ExperimentResult& r) {
-          auto m = conformant_loss_metric(r, conformant);
-          m["throughput_mbps"] = r.aggregate_throughput_mbps();
-          return m;
-        });
-        const auto& s = metrics.at("loss_ratio");
-        csv.row({format_double(buffer_mb), format_double(h_kb),
-                 sched == SchedulerKind::kFifo ? "fifo+sharing" : "wfq+sharing",
-                 format_double(s.mean), format_double(s.half_width_95),
-                 format_double(metrics.at("throughput_mbps").mean)});
-      }
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(7, argc, argv);
 }

@@ -2,37 +2,9 @@
 // aggregate throughput vs buffer size, with Buffer Sharing everywhere.
 //
 // Paper shape: the 3-queue hybrid tracks per-flow WFQ+sharing closely.
-#include <iostream>
-
+// The grid, metrics, and CSV columns live in expt/figures.cpp.
 #include "common.h"
-#include "util/csv.h"
 
 int main(int argc, char** argv) {
-  using namespace bufq;
-  using namespace bufq::bench;
-
-  const auto options = parse_options(argc, argv, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0});
-  print_banner(std::cout, "Figure 8",
-               "hybrid case 1 (3 queues): aggregate throughput vs buffer size", options);
-  print_table1(std::cout);
-
-  ExperimentConfig config;
-  config.link_rate = paper_link_rate();
-  config.flows = table1_flows();
-
-  CsvWriter csv{std::cout,
-                {"buffer_mb", "scheme", "throughput_mbps", "ci95_mbps", "utilization"}};
-  for (double buffer_mb : options.buffers_mb) {
-    config.buffer = ByteSize::megabytes(buffer_mb);
-    for (const auto& variant :
-         hybrid_figure_schemes(ByteSize::megabytes(2.0), case1_groups())) {
-      config.scheme = variant.scheme;
-      const auto metrics = replicate(config, options, throughput_metric);
-      const auto& s = metrics.at("throughput_mbps");
-      csv.row({format_double(buffer_mb), variant.name, format_double(s.mean),
-               format_double(s.half_width_95),
-               format_double(s.mean / paper_link_rate().mbps())});
-    }
-  }
-  return 0;
+  return bufq::bench::run_figure_main(8, argc, argv);
 }

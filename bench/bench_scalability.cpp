@@ -5,6 +5,7 @@
 // 16384.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <vector>
 
 #include "core/threshold.h"
@@ -12,6 +13,7 @@
 #include "sched/rpq.h"
 #include "sched/wfq.h"
 #include "util/rng.h"
+#include "util/task_pool.h"
 
 namespace {
 
@@ -119,6 +121,55 @@ void BM_RpqCalendar(benchmark::State& state) {
 }
 
 BENCHMARK(BM_RpqCalendar)->RangeMultiplier(4)->Range(2, 1 << 14);
+
+/// Sweep-engine substrate: per-task dispatch overhead of the work-
+/// stealing pool.  A simulation run costs milliseconds, so the pool's
+/// microsecond-scale dispatch must be (and is) negligible; this guards
+/// against regressions in the queueing/steal path.
+void BM_TaskPoolDispatch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  TaskPool pool{threads};
+  constexpr std::size_t kBatch = 1024;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+
+BENCHMARK(BM_TaskPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Work stealing under imbalance: all tasks submitted from one external
+/// thread land round-robin, but tasks vary 16x in cost, so idle workers
+/// must steal to finish early.  Items/s should scale with threads.
+void BM_TaskPoolImbalancedWork(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  TaskPool pool{threads};
+  constexpr std::size_t kTasks = 256;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      const std::uint64_t spins = 512 * (1 + i % 16);
+      pool.submit([&sum, spins] {
+        Rng rng{spins};
+        std::uint64_t x = 0;
+        for (std::uint64_t k = 0; k < spins; ++k) x ^= rng.next_u64();
+        sum.fetch_add(x, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+
+BENCHMARK(BM_TaskPoolImbalancedWork)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

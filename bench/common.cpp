@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "util/csv.h"
+#include "util/task_pool.h"
 
 namespace bufq::bench {
 namespace {
@@ -25,7 +29,8 @@ BenchOptions parse_options(int argc, const char* const* argv,
                            std::vector<double> default_buffers_mb) {
   Flags flags{argc, argv};
   BenchOptions options;
-  options.seeds = static_cast<std::size_t>(flags.get_int("seeds", 5));
+  options.seeds = static_cast<std::size_t>(
+      flags.get_int("replications", flags.get_int("seeds", 5)));
   options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   options.warmup = Time::from_seconds(flags.get_double("warmup", 5.0));
   options.duration = Time::from_seconds(flags.get_double("duration", 20.0));
@@ -34,40 +39,18 @@ BenchOptions parse_options(int argc, const char* const* argv,
   } else {
     options.buffers_mb = std::move(default_buffers_mb);
   }
+  options.jobs = static_cast<std::size_t>(
+      flags.get_int("jobs", static_cast<std::int64_t>(TaskPool::default_thread_count())));
+  options.progress = flags.get_bool("progress", false);
   const auto unknown = flags.unused();
   if (!unknown.empty()) {
-    std::fprintf(stderr, "unknown flag --%s (supported: --seeds --seed --warmup --duration --buffers)\n",
+    std::fprintf(stderr,
+                 "unknown flag --%s (supported: --seeds --replications --seed --warmup "
+                 "--duration --buffers --jobs --progress)\n",
                  unknown.front().c_str());
     std::exit(2);
   }
   return options;
-}
-
-std::vector<SchemeVariant> threshold_figure_schemes() {
-  return {
-      {"fifo+thresholds", make_scheme(SchedulerKind::kFifo, ManagerKind::kThreshold)},
-      {"wfq+thresholds", make_scheme(SchedulerKind::kWfq, ManagerKind::kThreshold)},
-      {"fifo+no-bm", make_scheme(SchedulerKind::kFifo, ManagerKind::kNone)},
-      {"wfq+no-bm", make_scheme(SchedulerKind::kWfq, ManagerKind::kNone)},
-  };
-}
-
-std::vector<SchemeVariant> sharing_figure_schemes(ByteSize headroom) {
-  return {
-      {"fifo+sharing", make_scheme(SchedulerKind::kFifo, ManagerKind::kSharing, headroom)},
-      {"wfq+sharing", make_scheme(SchedulerKind::kWfq, ManagerKind::kSharing, headroom)},
-      {"fifo+no-bm", make_scheme(SchedulerKind::kFifo, ManagerKind::kNone)},
-      {"wfq+no-bm", make_scheme(SchedulerKind::kWfq, ManagerKind::kNone)},
-  };
-}
-
-std::vector<SchemeVariant> hybrid_figure_schemes(
-    ByteSize headroom, const std::vector<std::vector<FlowId>>& groups) {
-  return {
-      {"hybrid+sharing", make_scheme(SchedulerKind::kHybrid, ManagerKind::kSharing, headroom, groups)},
-      {"wfq+sharing", make_scheme(SchedulerKind::kWfq, ManagerKind::kSharing, headroom)},
-      {"fifo+sharing", make_scheme(SchedulerKind::kFifo, ManagerKind::kSharing, headroom)},
-  };
 }
 
 std::map<std::string, Summary> replicate(
@@ -75,13 +58,31 @@ std::map<std::string, Summary> replicate(
     const std::function<std::map<std::string, double>(const ExperimentResult&)>& extract) {
   config.warmup = options.warmup;
   config.duration = options.duration;
-  ReplicationRunner runner{options.base_seed, options.seeds};
-  // Trials run concurrently: each takes its own copy of the config.
-  return runner.run([config, &extract](std::uint64_t seed) {
-    ExperimentConfig trial_config = config;
-    trial_config.seed = seed;
-    return extract(run_experiment(trial_config));
-  });
+
+  SweepCase single;
+  single.label = "replicate";
+  single.config = std::move(config);
+
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.replications = options.seeds;
+  sweep_options.base_seed = options.base_seed;
+  sweep_options.seed_mode = SeedMode::kSharedAcrossCases;
+  const SweepResult result = run_sweep({std::move(single)}, extract, sweep_options);
+
+  const SweepRow& row = result.rows.front();
+  if (!row.error.empty()) {
+    throw std::runtime_error("replication failed: " + row.error);
+  }
+  std::map<std::string, Summary> summaries;
+  for (const auto& [name, metric] : row.metrics) {
+    Summary s;
+    s.mean = metric.mean;
+    s.half_width_95 = metric.ci95;
+    s.n = metric.n;
+    summaries[name] = s;
+  }
+  return summaries;
 }
 
 std::map<std::string, double> throughput_metric(const ExperimentResult& result) {
@@ -127,6 +128,50 @@ void print_banner(std::ostream& out, const std::string& figure, const std::strin
   out << "# seeds=" << options.seeds << " base_seed=" << options.base_seed
       << " warmup=" << options.warmup.to_seconds() << "s"
       << " duration=" << options.duration.to_seconds() << "s\n";
+}
+
+int run_figure_main(int figure, int argc, const char* const* argv) {
+  const auto options = parse_options(argc, argv, figure_default_buffers_mb(figure));
+
+  FigureParams params;
+  params.buffers_mb = options.buffers_mb;
+  params.warmup = options.warmup;
+  params.duration = options.duration;
+  FigureSweep fig = make_figure_sweep(figure, params);
+
+  print_banner(std::cout, fig.name, fig.what, options);
+  if (fig.print_workload) {
+    (fig.workload_table == 2 ? print_table2 : print_table1)(std::cout);
+  }
+  std::cerr << "# jobs=" << (options.jobs == 0 ? TaskPool::default_thread_count() : options.jobs)
+            << " runs=" << fig.cases.size() * options.seeds << "\n";
+
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs == 0 ? TaskPool::default_thread_count() : options.jobs;
+  sweep_options.replications = options.seeds;
+  sweep_options.base_seed = options.base_seed;
+  // Common random numbers: every grid point sees the same seed set, which
+  // is the methodology the serial benches always used.
+  sweep_options.seed_mode = SeedMode::kSharedAcrossCases;
+  sweep_options.progress = options.progress ? &std::cerr : nullptr;
+
+  const SweepResult result = run_sweep(std::move(fig.cases), fig.extract, sweep_options);
+
+  CsvWriter csv{std::cout, fig.columns};
+  for (const SweepRow& row : result.rows) {
+    csv.row(fig.format_row(row));
+  }
+
+  if (!result.ok()) {
+    for (const SweepRow& row : result.rows) {
+      if (!row.error.empty()) {
+        std::cerr << "error: case " << row.index << " (" << row.label << "): " << row.error
+                  << "\n";
+      }
+    }
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace bufq::bench

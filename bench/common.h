@@ -1,6 +1,7 @@
 // Shared infrastructure for the figure-reproduction binaries: common
-// command-line options, replicated experiment execution, and the standard
-// metric extractors the paper's figures plot.
+// command-line options, sweep-engine-backed replication, and the figure
+// drivers.  The figure grids themselves live in expt/figures.h so the
+// `sweep` example CLI shares them.
 #pragma once
 
 #include <functional>
@@ -10,56 +11,50 @@
 #include <vector>
 
 #include "expt/experiment.h"
+#include "expt/figures.h"
+#include "expt/sweep.h"
 #include "expt/workloads.h"
 #include "stats/replication.h"
 #include "util/flags.h"
 
 namespace bufq::bench {
 
+// The scheme helpers moved to expt/figures.h; keep their old names
+// reachable from bufq::bench for the non-figure benches.
+using bufq::hybrid_figure_schemes;
+using bufq::make_scheme;
+using bufq::SchemeVariant;
+using bufq::sharing_figure_schemes;
+using bufq::threshold_figure_schemes;
+
 /// Options every figure binary accepts:
-///   --seeds=N        replications (default 5, the paper's count)
-///   --seed=S         base seed (default 1)
-///   --warmup=SECS    transient discarded (default 5)
-///   --duration=SECS  measured interval (default 20)
-///   --buffers=a,b,c  buffer sizes in MB (figure-specific default)
+///   --seeds=N          replications (default 5, the paper's count)
+///   --replications=N   alias for --seeds
+///   --seed=S           base seed (default 1)
+///   --warmup=SECS      transient discarded (default 5)
+///   --duration=SECS    measured interval (default 20)
+///   --buffers=a,b,c    buffer sizes in MB (figure-specific default)
+///   --jobs=N           worker threads (default: hardware concurrency);
+///                      results are bit-identical at any value
+///   --progress         progress/ETA line on stderr
 struct BenchOptions {
   std::size_t seeds{5};
   std::uint64_t base_seed{1};
   Time warmup{Time::seconds(5)};
   Time duration{Time::seconds(20)};
   std::vector<double> buffers_mb;
+  std::size_t jobs{0};  ///< 0 = hardware concurrency
+  bool progress{false};
 };
 
 /// Parses options; exits with a message on malformed or unknown flags.
 BenchOptions parse_options(int argc, const char* const* argv,
                            std::vector<double> default_buffers_mb);
 
-/// A labeled scheme variant for a figure's legend.
-struct SchemeVariant {
-  std::string name;
-  SchemeConfig scheme;
-};
-
-/// Builds a SchemeConfig with every other field at its default.
-inline SchemeConfig make_scheme(SchedulerKind scheduler, ManagerKind manager,
-                                ByteSize headroom = ByteSize::megabytes(2.0),
-                                std::vector<std::vector<FlowId>> groups = {}) {
-  SchemeConfig config;
-  config.scheduler = scheduler;
-  config.manager = manager;
-  config.headroom = headroom;
-  config.groups = std::move(groups);
-  return config;
-}
-
-/// The scheme sets the figures compare.
-std::vector<SchemeVariant> threshold_figure_schemes();              // Figs 1-3
-std::vector<SchemeVariant> sharing_figure_schemes(ByteSize headroom);  // Figs 4-6
-std::vector<SchemeVariant> hybrid_figure_schemes(
-    ByteSize headroom, const std::vector<std::vector<FlowId>>& groups);  // Figs 8-13
-
-/// Runs `seeds` replications of `config` (varying only the seed) and
-/// summarizes each metric produced by `extract`.
+/// Runs `seeds` replications of `config` (varying only the seed) through
+/// the sweep engine and summarizes each metric produced by `extract`.
+/// Replication sub-seeds come from SeedSequence(base_seed).derive(r), so
+/// the result is independent of `jobs`.
 std::map<std::string, Summary> replicate(
     ExperimentConfig config, const BenchOptions& options,
     const std::function<std::map<std::string, double>(const ExperimentResult&)>& extract);
@@ -73,8 +68,17 @@ std::map<std::string, double> conformant_loss_metric(const ExperimentResult& res
 void print_table1(std::ostream& out);
 void print_table2(std::ostream& out);
 
-/// Prints a figure banner with run parameters.
+/// Prints a figure banner with run parameters.  Deliberately excludes
+/// --jobs so the full output stream stays byte-identical across thread
+/// counts (jobs info goes to stderr).
 void print_banner(std::ostream& out, const std::string& figure, const std::string& what,
                   const BenchOptions& options);
+
+/// The whole main() of a bench_fig* binary: parses options with the
+/// figure's default buffer grid, prints banner (+ workload table where the
+/// figure calls for it) and the CSV series to stdout, runs the grid x
+/// seeds sweep on a TaskPool, and reports run failures on stderr.
+/// Returns the process exit code.
+int run_figure_main(int figure, int argc, const char* const* argv);
 
 }  // namespace bufq::bench

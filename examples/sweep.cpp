@@ -1,0 +1,85 @@
+// sweep: run any figure's simulation grid on the parallel sweep engine
+// and print the engine's generic CSV (per-metric mean/stddev/95% CI plus
+// byte totals), rather than the figure-specific columns the bench_fig*
+// binaries emit.
+//
+//   sweep --figure=N [--jobs=N] [--replications=K] [--seed=S]
+//         [--buffers=a,b,c] [--warmup=SECS] [--duration=SECS] [--progress]
+//
+// The CSV on stdout is bit-identical for a given --seed regardless of
+// --jobs; banners and progress go to stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expt/figures.h"
+#include "expt/sweep.h"
+#include "util/flags.h"
+#include "util/task_pool.h"
+
+namespace {
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) values.push_back(std::stod(item));
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bufq;
+
+  Flags flags{argc, argv};
+  const auto figure = static_cast<int>(flags.get_int("figure", 1));
+  FigureParams params;
+  if (const auto buffers = flags.get("buffers")) params.buffers_mb = parse_list(*buffers);
+  params.warmup = Time::from_seconds(flags.get_double("warmup", 5.0));
+  params.duration = Time::from_seconds(flags.get_double("duration", 20.0));
+
+  SweepOptions options;
+  options.jobs = static_cast<std::size_t>(
+      flags.get_int("jobs", static_cast<std::int64_t>(TaskPool::default_thread_count())));
+  options.replications = static_cast<std::size_t>(flags.get_int("replications", 5));
+  options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.seed_mode = SeedMode::kSharedAcrossCases;
+  options.progress = flags.get_bool("progress", false) ? &std::cerr : nullptr;
+
+  const auto unknown = flags.unused();
+  if (!unknown.empty()) {
+    std::fprintf(stderr,
+                 "unknown flag --%s (supported: --figure --jobs --replications --seed "
+                 "--buffers --warmup --duration --progress)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  if (figure < kFirstFigure || figure > kLastFigure) {
+    std::fprintf(stderr, "--figure must be in [%d, %d]\n", kFirstFigure, kLastFigure);
+    return 2;
+  }
+
+  FigureSweep fig = make_figure_sweep(figure, params);
+  std::cerr << "# " << fig.name << ": " << fig.what << "\n"
+            << "# cases=" << fig.cases.size() << " replications=" << options.replications
+            << " jobs=" << options.jobs << " seed=" << options.base_seed << "\n";
+
+  const SweepResult result = run_sweep(std::move(fig.cases), fig.extract, options);
+  write_sweep_csv(std::cout, result);
+  std::cerr << "# elapsed " << result.elapsed_s << "s\n";
+
+  if (!result.ok()) {
+    for (const SweepRow& row : result.rows) {
+      if (!row.error.empty()) {
+        std::cerr << "error: case " << row.index << " (" << row.label << "): " << row.error
+                  << "\n";
+      }
+    }
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Wall-clock guard for the parallel sweep engine: runs a reduced Figure-1
+# sweep serially and at --jobs N, requires (a) byte-identical CSV output
+# and (b) a minimum parallel speedup.  Run by the sweep-speedup CI job on
+# a multi-core runner; not meaningful on single-core machines.
+#
+#   scripts/check_sweep_speedup.sh [build-dir]
+#
+# Environment:
+#   JOBS         worker count for the parallel leg (default: nproc)
+#   MIN_SPEEDUP  required serial/parallel ratio (default: 2.0)
+#   OUT_DIR      where the CSVs + timing report land (default: sweep-speedup)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="${JOBS:-$(nproc)}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+OUT_DIR="${OUT_DIR:-sweep-speedup}"
+SWEEP="$BUILD_DIR/examples/sweep"
+
+if [ ! -x "$SWEEP" ]; then
+  echo "error: $SWEEP not built (cmake --build $BUILD_DIR --target sweep)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# Reduced Figure 1: the full 10-buffer x 4-scheme grid, 5 replications,
+# but a shortened measurement interval (~10 s serial on one core).
+ARGS=(--figure=1 --replications=5 --duration=10 --warmup=2 --seed=1)
+
+t0=$(date +%s.%N)
+"$SWEEP" "${ARGS[@]}" --jobs=1 >"$OUT_DIR/serial.csv" 2>"$OUT_DIR/serial.log"
+t1=$(date +%s.%N)
+"$SWEEP" "${ARGS[@]}" --jobs="$JOBS" >"$OUT_DIR/parallel.csv" 2>"$OUT_DIR/parallel.log"
+t2=$(date +%s.%N)
+
+if ! cmp -s "$OUT_DIR/serial.csv" "$OUT_DIR/parallel.csv"; then
+  echo "FAIL: CSV differs between --jobs=1 and --jobs=$JOBS (determinism contract broken)" >&2
+  diff "$OUT_DIR/serial.csv" "$OUT_DIR/parallel.csv" | head -20 >&2 || true
+  exit 1
+fi
+
+report=$(awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v jobs="$JOBS" -v min="$MIN_SPEEDUP" 'BEGIN {
+  serial = t1 - t0; parallel = t2 - t1;
+  speedup = parallel > 0 ? serial / parallel : 0;
+  printf "serial %.2fs  parallel %.2fs  speedup %.2fx  (jobs=%d, required >= %.1fx)\n",
+         serial, parallel, speedup, jobs, min;
+  exit speedup >= min ? 0 : 1
+}') && status=0 || status=1
+echo "$report" | tee "$OUT_DIR/timing.txt"
+
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: parallel sweep too slow" >&2
+  exit 1
+fi
+echo "OK: output byte-identical and speedup above threshold"

@@ -30,7 +30,7 @@ void AuditedBufferManager::release(FlowId flow, std::int64_t bytes, Time now) {
 }
 
 void AuditedBufferManager::verify(FlowId flow, Time now) {
-  auto& checker = InvariantChecker::global();
+  auto& checker = InvariantChecker::current();
   ++audits_run_;
 
   const std::int64_t total = inner_.total_occupancy();
@@ -76,7 +76,7 @@ void AuditedBufferManager::full_audit(Time now) const {
     sum += inner_.occupancy(static_cast<FlowId>(f));
   }
   if (sum != inner_.total_occupancy()) {
-    InvariantChecker::global().report(
+    InvariantChecker::current().report(
         Violation{Invariant::kConservation, -1, now, static_cast<double>(sum),
                   static_cast<double>(inner_.total_occupancy()),
                   "sum of per-flow occupancies != reported total"});

@@ -9,7 +9,7 @@
 // Unlike the BUFQ_CHECK instrumentation (compiled out in Release), the
 // auditor is ordinary runtime code, available in every build type: tests
 // wrap a manager when they want the audit, and pay for it only then.
-// Violations go to InvariantChecker::global().
+// Violations go to InvariantChecker::current().
 #pragma once
 
 #include <cstdint>

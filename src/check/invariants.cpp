@@ -34,9 +34,36 @@ std::string Violation::to_string() const {
   return out.str();
 }
 
+namespace {
+
+// Innermost live ScopedChecker on this thread; BUFQ_CHECK reports here so
+// parallel runs never share a mutable sink.
+thread_local InvariantChecker* tl_current_checker = nullptr;
+
+}  // namespace
+
 InvariantChecker& InvariantChecker::global() {
   static InvariantChecker instance;
   return instance;
+}
+
+InvariantChecker& InvariantChecker::current() {
+  return tl_current_checker != nullptr ? *tl_current_checker : global();
+}
+
+void InvariantChecker::absorb(const InvariantChecker& child) {
+  // The child belongs to a finished ScopedChecker on the calling thread,
+  // so its state is quiescent; re-reporting its stored violations routes
+  // them through this checker's handler (if any) exactly as live reports
+  // would have been.
+  checks_run_.fetch_add(child.checks_run(), std::memory_order_relaxed);
+  const auto stored = child.violations();
+  for (const Violation& violation : stored) report(violation);
+  const std::uint64_t overflow = child.violation_count() - stored.size();
+  if (overflow > 0) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (!handler_) violation_count_ += overflow;
+  }
 }
 
 void InvariantChecker::report(Violation violation) {
@@ -96,20 +123,43 @@ void InvariantChecker::set_handler(Handler handler) {
   handler_ = std::move(handler);
 }
 
+InvariantChecker::Handler InvariantChecker::exchange_handler(Handler handler) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::swap(handler_, handler);
+  return handler;
+}
+
 void InvariantChecker::set_abort_on_violation(bool abort_on_violation) {
   const std::lock_guard<std::mutex> lock{mu_};
   abort_on_violation_ = abort_on_violation;
 }
 
-ScopedViolationCapture::ScopedViolationCapture() {
-  InvariantChecker::global().set_handler([this](const Violation& v) {
-    const std::lock_guard<std::mutex> lock{mu_};
-    captured_.push_back(v);
-  });
+bool InvariantChecker::abort_on_violation() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return abort_on_violation_;
 }
 
+ScopedChecker::ScopedChecker() : previous_{tl_current_checker} {
+  // Debug runs that abort on first violation keep doing so inside the
+  // confined scope.
+  checker_.set_abort_on_violation(InvariantChecker::current().abort_on_violation());
+  tl_current_checker = &checker_;
+}
+
+ScopedChecker::~ScopedChecker() {
+  tl_current_checker = previous_;
+  InvariantChecker::current().absorb(checker_);
+}
+
+ScopedViolationCapture::ScopedViolationCapture()
+    : target_{InvariantChecker::current()},
+      previous_{target_.exchange_handler([this](const Violation& v) {
+        const std::lock_guard<std::mutex> lock{mu_};
+        captured_.push_back(v);
+      })} {}
+
 ScopedViolationCapture::~ScopedViolationCapture() {
-  InvariantChecker::global().set_handler(nullptr);
+  target_.set_handler(std::move(previous_));
 }
 
 std::size_t ScopedViolationCapture::count() const {

@@ -71,13 +71,27 @@ class InvariantChecker {
  public:
   using Handler = std::function<void(const Violation&)>;
 
-  /// Most call sites go through the global instance via BUFQ_CHECK; tests
+  /// Most call sites go through the current instance via BUFQ_CHECK; tests
   /// may construct private checkers to audit the auditor.
   InvariantChecker() = default;
   InvariantChecker(const InvariantChecker&) = delete;
   InvariantChecker& operator=(const InvariantChecker&) = delete;
 
   [[nodiscard]] static InvariantChecker& global();
+
+  /// The checker BUFQ_CHECK call sites report to on this thread: the
+  /// innermost live ScopedChecker, or the process-wide global().  Parallel
+  /// sweep workers each install a per-run ScopedChecker, so runs never
+  /// share a mutable sink (no cross-run interleaving of violations, no
+  /// contended counter cacheline on the per-packet hot path).
+  [[nodiscard]] static InvariantChecker& current();
+
+  /// Folds another checker's tallies into this one: checks-run and
+  /// violation counts are added, and the child's stored violations are
+  /// re-reported here (so an installed handler still sees them).  Used by
+  /// ScopedChecker to hand a finished run's audit back to its parent —
+  /// suite-wide audits observe exactly what they did before confinement.
+  void absorb(const InvariantChecker& child);
 
   /// Records a violation.  With no handler installed it is counted and
   /// stored (up to kMaxStored); an installed handler *redirects* the
@@ -104,8 +118,13 @@ class InvariantChecker {
   /// handler runs under the checker's lock; keep it light.
   void set_handler(Handler handler);
 
+  /// Installs a handler and returns the one it replaced, so scoped
+  /// redirections can restore their predecessor on exit.
+  [[nodiscard]] Handler exchange_handler(Handler handler);
+
   /// When set, report() aborts after delivering the violation.
   void set_abort_on_violation(bool abort_on_violation);
+  [[nodiscard]] bool abort_on_violation() const;
 
   static constexpr std::size_t kMaxStored = 64;
 
@@ -118,7 +137,30 @@ class InvariantChecker {
   bool abort_on_violation_{false};
 };
 
-/// RAII capture of global-checker violations, for tests: while alive, all
+/// RAII per-run audit confinement.  While alive, BUFQ_CHECK call sites on
+/// the constructing thread report to a private checker instead of the
+/// enclosing one, so concurrent runs on pool workers never contend on (or
+/// interleave violations into) a shared sink.  On destruction the private
+/// tallies are absorbed into the enclosing checker — a suite-wide audit
+/// of the global checker still sees every check and violation, just
+/// delivered in one batch per run.  Nests; thread-confined (construct and
+/// destroy on the same thread).
+class ScopedChecker {
+ public:
+  ScopedChecker();
+  ~ScopedChecker();
+  ScopedChecker(const ScopedChecker&) = delete;
+  ScopedChecker& operator=(const ScopedChecker&) = delete;
+
+  [[nodiscard]] InvariantChecker& checker() { return checker_; }
+  [[nodiscard]] const InvariantChecker& checker() const { return checker_; }
+
+ private:
+  InvariantChecker checker_;
+  InvariantChecker* previous_;
+};
+
+/// RAII capture of current-checker violations, for tests: while alive, all
 /// violations land here instead of the default store, so a test that
 /// *expects* violations (the broken-manager fixture) does not poison the
 /// suite-wide zero-violation audit.  Restores the previous handler on
@@ -136,6 +178,8 @@ class ScopedViolationCapture {
  private:
   mutable std::mutex mu_;
   std::vector<Violation> captured_;
+  InvariantChecker& target_;
+  InvariantChecker::Handler previous_;
 };
 
 }  // namespace bufq::check
@@ -148,9 +192,9 @@ class ScopedViolationCapture {
 #if defined(BUFQ_ENABLE_CHECKS)
 #define BUFQ_CHECK(cond, ...)                                         \
   do {                                                                \
-    ::bufq::check::InvariantChecker::global().note_check();           \
+    ::bufq::check::InvariantChecker::current().note_check();          \
     if (!(cond)) {                                                    \
-      ::bufq::check::InvariantChecker::global().report(               \
+      ::bufq::check::InvariantChecker::current().report(              \
           ::bufq::check::Violation{__VA_ARGS__});                     \
     }                                                                 \
   } while (false)

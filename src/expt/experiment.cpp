@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/invariants.h"
 #include "core/buffer_manager.h"
 #include "core/dynamic_threshold.h"
 #include "core/red.h"
@@ -173,6 +174,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   assert(!config.flows.empty());
   assert(config.duration > Time::zero());
 
+  // Confine the invariant audit to this run: BUFQ_CHECK sites report to a
+  // run-private checker (no shared sink between pool workers), whose
+  // tallies are folded back into the enclosing checker when we return.
+  const check::ScopedChecker run_checker;
+
   Simulator sim;
   Pipeline pipeline = build_pipeline(config);
   Link link{sim, *pipeline.discipline, config.link_rate};
@@ -218,6 +224,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const auto at_end = stats.snapshot();
   ExperimentResult result;
   result.interval = config.duration;
+  result.checks_run = run_checker.checker().checks_run();
+  result.check_violations = run_checker.checker().violation_count();
   result.per_flow.reserve(at_end.size());
   for (std::size_t f = 0; f < at_end.size(); ++f) {
     result.per_flow.push_back(at_end[f] - at_warmup[f]);

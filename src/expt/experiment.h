@@ -86,6 +86,11 @@ struct ExperimentResult {
   /// Filled only when ExperimentConfig::record_delays was set.
   std::vector<DelaySummary> delays;
   Time interval{Time::zero()};
+  /// Invariant audit of this run (src/check): every run executes under its
+  /// own ScopedChecker, so these count exactly this run's checks — both
+  /// stay zero in builds without BUFQ_ENABLE_CHECKS.
+  std::uint64_t checks_run{0};
+  std::uint64_t check_violations{0};
 
   [[nodiscard]] double aggregate_throughput_mbps() const;
   [[nodiscard]] double utilization(Rate link_rate) const;

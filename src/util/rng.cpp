@@ -88,4 +88,19 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng{splitmix64(x)};
 }
 
+std::uint64_t SeedSequence::derive(std::uint64_t index) const {
+  // Same recipe as Rng::fork but with a different odd multiplier, so the
+  // sweep-seed tree and the per-source fork tree stay decorrelated.
+  std::uint64_t x = root_ ^ (0x8BB84B93962EACC9ull * (index + 1));
+  return splitmix64(x);
+}
+
+std::uint64_t SeedSequence::derive(std::uint64_t point, std::uint64_t replication) const {
+  return split(point).derive(replication);
+}
+
+SeedSequence SeedSequence::split(std::uint64_t index) const {
+  return SeedSequence{derive(index)};
+}
+
 }  // namespace bufq

@@ -59,4 +59,36 @@ class Rng {
   std::uint64_t seed_{};
 };
 
+/// Deterministic seed-derivation tree for parallel sweeps.  A sequence
+/// rooted at a user seed hands out sub-seeds addressed purely by index
+/// — derive(i) and derive(point, replication) depend only on the root
+/// and the indices, never on which thread asks or in what order — so a
+/// sweep's per-run seeds (and therefore its results) are bit-identical
+/// regardless of thread count or work-stealing schedule.
+///
+/// The mixing constant differs from Rng::fork's, so a sub-seed's source
+/// streams are decorrelated from sibling sub-seeds even when a run forks
+/// per-flow streams from its seed.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t root) : root_{root} {}
+
+  [[nodiscard]] std::uint64_t root() const { return root_; }
+
+  /// Sub-seed for one index.  derive(i) != derive(j) for i != j (full
+  /// 64-bit bijection before the final avalanche).
+  [[nodiscard]] std::uint64_t derive(std::uint64_t index) const;
+
+  /// Sub-seed for a (point, replication) pair; equals
+  /// split(point).derive(replication), and is order-sensitive.
+  [[nodiscard]] std::uint64_t derive(std::uint64_t point, std::uint64_t replication) const;
+
+  /// Child sequence rooted at derive(index); splitting further never
+  /// collides with the parent's own derive() stream in practice.
+  [[nodiscard]] SeedSequence split(std::uint64_t index) const;
+
+ private:
+  std::uint64_t root_;
+};
+
 }  // namespace bufq

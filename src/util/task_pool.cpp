@@ -1,0 +1,125 @@
+#include "util/task_pool.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace bufq {
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// submit() from inside a task targets the submitting worker's own deque.
+thread_local TaskPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+
+}  // namespace
+
+std::size_t TaskPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+TaskPool::TaskPool(std::size_t threads) {
+  const std::size_t n = threads > 0 ? threads : default_thread_count();
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TaskPool::submit(Task task) {
+  assert(task);
+  std::size_t target;
+  if (tl_pool == this) {
+    target = tl_worker;
+  } else {
+    const std::lock_guard<std::mutex> lock{mu_};
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    ++queued_;
+    ++outstanding_;
+  }
+  {
+    auto& queue = *queues_[target];
+    const std::lock_guard<std::mutex> lock{queue.mu};
+    // Worker-local submissions go to the front (LIFO: the freshest task has
+    // the warmest cache); external batches to the back, so stealing (which
+    // takes from the back) grabs the oldest, largest-grained work first.
+    if (tl_pool == this) {
+      queue.tasks.push_front(std::move(task));
+    } else {
+      queue.tasks.push_back(std::move(task));
+    }
+  }
+  work_available_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  // Must not be called from a worker of this pool: the wait would occupy
+  // the very thread that should be draining the queue.
+  assert(tl_pool != this);
+  std::unique_lock<std::mutex> lock{mu_};
+  idle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool TaskPool::try_acquire(std::size_t index, Task& task) {
+  {
+    auto& own = *queues_[index];
+    const std::lock_guard<std::mutex> lock{own.mu};
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  const std::size_t n = queues_.size();
+  for (std::size_t step = 1; step < n; ++step) {
+    auto& victim = *queues_[(index + step) % n];
+    const std::lock_guard<std::mutex> lock{victim.mu};
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker = index;
+  for (;;) {
+    Task task;
+    if (try_acquire(index, task)) {
+      {
+        const std::lock_guard<std::mutex> lock{mu_};
+        --queued_;
+      }
+      task();
+      task = nullptr;  // release captures before reporting completion
+      const std::lock_guard<std::mutex> lock{mu_};
+      --outstanding_;
+      if (outstanding_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock{mu_};
+    work_available_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace bufq

@@ -1,0 +1,79 @@
+// Work-stealing thread pool for embarrassingly parallel simulation work.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+// locality for nested submissions) and steals FIFO from the back of a
+// victim's deque when its own runs dry, so large batches balance across
+// workers regardless of submission order.  Determinism of results is the
+// *caller's* job — the sweep engine achieves it by deriving every run's
+// seed from its index and writing results into pre-sized slots, so the
+// pool is free to schedule however it likes.
+//
+// Tasks must not throw: wrap bodies in try/catch and record failures into
+// the task's own result slot (an escaped exception would std::terminate).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bufq {
+
+class TaskPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers; 0 means default_thread_count().
+  explicit TaskPool(std::size_t threads = 0);
+
+  /// Drains all submitted tasks, then joins the workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues a task.  From a worker of this pool the task lands on that
+  /// worker's own deque (LIFO); from any other thread the deques are fed
+  /// round-robin.  Safe to call concurrently and from inside tasks.
+  void submit(Task task);
+
+  /// Blocks until every task submitted so far (including tasks those tasks
+  /// submitted) has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// return 0 on exotic platforms).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pops from own deque (front) or steals from another (back).
+  [[nodiscard]] bool try_acquire(std::size_t index, Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Guards the counters and the two condition variables; per-deque locks
+  // are leaf locks acquired without it.  Task granularity here is a whole
+  // simulation run, so a plain mutex is nowhere near contended.
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t queued_{0};       ///< submitted, not yet picked up
+  std::size_t outstanding_{0};  ///< submitted, not yet finished
+  std::size_t next_queue_{0};   ///< round-robin cursor for external submits
+  bool stop_{false};
+};
+
+}  // namespace bufq

@@ -1,102 +1,205 @@
-// Additional parameterized sweeps: hybrid protection across buffer sizes
-// and groupings, and shaper conformance across the (sigma, rho) grid.
+// Sweep-engine tests: the determinism contract (bit-identical CSV at any
+// --jobs), replication seeding, summary math, and exception containment.
 #include <gtest/gtest.h>
 
-#include <tuple>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "expt/experiment.h"
+#include "expt/sweep.h"
 #include "expt/workloads.h"
-#include "sim/simulator.h"
-#include "traffic/conformance.h"
-#include "traffic/shaper.h"
-#include "traffic/sources.h"
+#include "stats/replication.h"
+#include "util/csv.h"
 
 namespace bufq {
 namespace {
 
-// ------------------------------------------- hybrid protection sweep
-
-/// (buffer KB, use paper grouping?)
-using HybridParam = std::tuple<int, bool>;
-
-class HybridProtectionTest : public ::testing::TestWithParam<HybridParam> {};
-
-TEST_P(HybridProtectionTest, ConformantFlowsProtected) {
-  const auto [buffer_kb, paper_grouping] = GetParam();
+/// A small but real Table-1 run: long enough to queue and drop packets,
+/// short enough to keep the suite fast.
+ExperimentConfig short_config(double buffer_mb) {
   ExperimentConfig config;
   config.link_rate = paper_link_rate();
-  config.buffer = ByteSize::kilobytes(static_cast<double>(buffer_kb));
   config.flows = table1_flows();
-  config.scheme.scheduler = SchedulerKind::kHybrid;
-  config.scheme.manager = ManagerKind::kSharing;
-  config.scheme.headroom = ByteSize::kilobytes(100.0);
-  config.scheme.groups = paper_grouping
-                             ? case1_groups()
-                             : std::vector<std::vector<FlowId>>{{0, 1, 2, 3, 4, 5},
-                                                                {6, 7, 8}};
-  config.warmup = Time::seconds(2);
-  config.duration = Time::seconds(8);
-  config.seed = 3;
-  const auto result = run_experiment(config);
-  // From 300 KB the hybrid protects conformant flows regardless of how
-  // the conformant flows themselves are grouped — the load-bearing choice
-  // is separating them from the aggressive queue.
-  EXPECT_LT(result.loss_ratio(table1_conformant_flows()), 1e-3)
-      << "buffer " << buffer_kb << " KB, paper grouping " << paper_grouping;
-  EXPECT_GT(result.aggregate_throughput_mbps(), 35.0);
+  config.buffer = ByteSize::megabytes(buffer_mb);
+  config.scheme.scheduler = SchedulerKind::kFifo;
+  config.scheme.manager = ManagerKind::kThreshold;
+  config.warmup = Time::from_seconds(0.1);
+  config.duration = Time::from_seconds(0.3);
+  return config;
 }
 
-INSTANTIATE_TEST_SUITE_P(BufferGroupingGrid, HybridProtectionTest,
-                         ::testing::Combine(::testing::Values(300, 500, 1000, 2000),
-                                            ::testing::Bool()),
-                         [](const auto& test_param) {
-                           return "buf" + std::to_string(std::get<0>(test_param.param)) +
-                                  (std::get<1>(test_param.param) ? "_3q" : "_2q");
-                         });
+std::vector<SweepCase> small_grid() {
+  std::vector<SweepCase> cases;
+  for (double buffer_mb : {0.2, 0.5, 1.0}) {
+    for (const char* scheme : {"fifo", "wfq"}) {
+      SweepCase c;
+      c.label = scheme;
+      c.params = {{"buffer_mb", format_double(buffer_mb)}};
+      c.config = short_config(buffer_mb);
+      if (scheme[0] == 'w') c.config.scheme.scheduler = SchedulerKind::kWfq;
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
 
-// --------------------------------------------- shaper conformance grid
-
-/// (sigma KB, rho Mb/s)
-using ShaperParam = std::tuple<int, int>;
-
-class ShaperConformanceTest : public ::testing::TestWithParam<ShaperParam> {};
-
-TEST_P(ShaperConformanceTest, OutputAlwaysConformsToItsEnvelope) {
-  const auto [sigma_kb, rho_mbps] = GetParam();
-  Simulator sim;
-  class NullSink final : public PacketSink {
-   public:
-    void accept(const Packet&) override {}
-  } null;
-  const auto sigma = ByteSize::kilobytes(static_cast<double>(sigma_kb));
-  const auto rho = Rate::megabits_per_second(static_cast<double>(rho_mbps));
-  ConformanceMeter meter{sim, null, sigma, rho};
-  LeakyBucketShaper shaper{sim, meter, sigma, rho};
-  // Feed far-above-profile bursty traffic.
-  MarkovOnOffSource::Params params{
-      .flow = 0,
-      .peak_rate = Rate::megabits_per_second(40.0),
-      .mean_on = Time::milliseconds(20),
-      .mean_off = Time::milliseconds(30),
-      .packet_bytes = 500,
+MetricExtractor throughput_and_loss() {
+  return [conformant = table1_conformant_flows()](const ExperimentResult& r) {
+    return std::map<std::string, double>{
+        {"throughput_mbps", r.aggregate_throughput_mbps()},
+        {"loss_ratio", r.loss_ratio(conformant)},
+    };
   };
-  MarkovOnOffSource source{sim, shaper, params,
-                           Rng{static_cast<std::uint64_t>(sigma_kb * 100 + rho_mbps)}};
-  source.start();
-  sim.run_until(Time::seconds(30));
-  EXPECT_GT(meter.packets_seen(), 500u);
-  EXPECT_EQ(meter.violations(), 0u)
-      << "sigma " << sigma_kb << " KB, rho " << rho_mbps << " Mb/s";
 }
 
-INSTANTIATE_TEST_SUITE_P(SigmaRhoGrid, ShaperConformanceTest,
-                         ::testing::Combine(::testing::Values(2, 10, 50, 200),
-                                            ::testing::Values(1, 4, 16)),
-                         [](const auto& test_param) {
-                           return "sigma" + std::to_string(std::get<0>(test_param.param)) +
-                                  "kb_rho" + std::to_string(std::get<1>(test_param.param)) +
-                                  "mbps";
-                         });
+std::string csv_at_jobs(std::size_t jobs, std::size_t replications,
+                        SeedMode mode = SeedMode::kIndependent) {
+  SweepOptions options;
+  options.jobs = jobs;
+  options.replications = replications;
+  options.base_seed = 42;
+  options.seed_mode = mode;
+  const SweepResult result = run_sweep(small_grid(), throughput_and_loss(), options);
+  std::ostringstream out;
+  write_sweep_csv(out, result);
+  return out.str();
+}
+
+TEST(SweepEngineTest, CsvIsByteIdenticalAcrossJobCounts) {
+  const std::string serial = csv_at_jobs(1, 3);
+  EXPECT_EQ(serial, csv_at_jobs(2, 3));
+  EXPECT_EQ(serial, csv_at_jobs(8, 3));
+}
+
+TEST(SweepEngineTest, SharedSeedModeCsvAlsoJobInvariant) {
+  const std::string serial = csv_at_jobs(1, 2, SeedMode::kSharedAcrossCases);
+  EXPECT_EQ(serial, csv_at_jobs(8, 2, SeedMode::kSharedAcrossCases));
+}
+
+TEST(SweepEngineTest, ReplicationsGetDistinctSeedsAndRuns) {
+  SweepOptions options;
+  options.jobs = 4;
+  options.replications = 5;
+  options.base_seed = 7;
+  const SweepResult result = run_sweep(small_grid(), throughput_and_loss(), options);
+  ASSERT_TRUE(result.ok());
+  for (const SweepRow& row : result.rows) {
+    const std::set<std::uint64_t> unique(row.seeds.begin(), row.seeds.end());
+    EXPECT_EQ(unique.size(), 5u) << "replication seeds collided in case " << row.index;
+    // Distinct seeds must actually produce distinct runs: at these buffer
+    // sizes the throughput samples cannot all coincide bit-for-bit.
+    const auto& samples = row.samples.at("throughput_mbps");
+    ASSERT_EQ(samples.size(), 5u);
+    const std::set<double> distinct(samples.begin(), samples.end());
+    EXPECT_GT(distinct.size(), 1u) << "all replications identical in case " << row.index;
+  }
+}
+
+TEST(SweepEngineTest, SeedModeControlsSeedSharing) {
+  SweepOptions options;
+  options.replications = 3;
+  options.base_seed = 11;
+  options.seed_mode = SeedMode::kSharedAcrossCases;
+  const SweepResult shared = run_sweep(small_grid(), throughput_and_loss(), options);
+  for (const SweepRow& row : shared.rows) {
+    EXPECT_EQ(row.seeds, shared.rows.front().seeds)
+        << "kSharedAcrossCases must reuse one seed set";
+  }
+
+  options.seed_mode = SeedMode::kIndependent;
+  const SweepResult independent = run_sweep(small_grid(), throughput_and_loss(), options);
+  std::set<std::uint64_t> all_seeds;
+  for (const SweepRow& row : independent.rows) {
+    all_seeds.insert(row.seeds.begin(), row.seeds.end());
+  }
+  EXPECT_EQ(all_seeds.size(), independent.rows.size() * 3)
+      << "kIndependent must give every run its own seed";
+}
+
+TEST(SweepEngineTest, ConfigSeedFieldIsIgnored) {
+  auto cases = small_grid();
+  for (auto& c : cases) c.config.seed = 987654321;
+  SweepOptions options;
+  options.replications = 2;
+  options.base_seed = 42;
+  const SweepResult tagged = run_sweep(std::move(cases), throughput_and_loss(), options);
+  const SweepResult plain = run_sweep(small_grid(), throughput_and_loss(), options);
+  std::ostringstream a, b;
+  write_sweep_csv(a, tagged);
+  write_sweep_csv(b, plain);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SweepEngineTest, SummaryMatchesManualComputation) {
+  SweepOptions options;
+  options.replications = 4;
+  options.base_seed = 3;
+  const SweepResult result = run_sweep(small_grid(), throughput_and_loss(), options);
+  ASSERT_TRUE(result.ok());
+  for (const SweepRow& row : result.rows) {
+    const auto& samples = row.samples.at("throughput_mbps");
+    const MetricSummary& m = row.metrics.at("throughput_mbps");
+    const Summary expected = summarize(samples);
+    EXPECT_DOUBLE_EQ(m.mean, expected.mean);
+    EXPECT_DOUBLE_EQ(m.ci95, expected.half_width_95);
+    EXPECT_EQ(m.n, samples.size());
+    double ss = 0.0;
+    for (double x : samples) ss += (x - expected.mean) * (x - expected.mean);
+    EXPECT_DOUBLE_EQ(m.stddev, std::sqrt(ss / 3.0));
+  }
+}
+
+TEST(SweepEngineTest, ExceptionInOneRunIsContainedAndPoolDrains) {
+  auto cases = small_grid();
+  // A hybrid scheme without a grouping makes run_experiment throw
+  // std::invalid_argument for every replication of this case.
+  SweepCase bad;
+  bad.label = "bad-hybrid";
+  bad.params = {{"buffer_mb", "0.5"}};
+  bad.config = short_config(0.5);
+  bad.config.scheme.scheduler = SchedulerKind::kHybrid;
+  bad.config.scheme.groups.clear();
+  cases.insert(cases.begin() + 2, std::move(bad));
+
+  SweepOptions options;
+  options.jobs = 8;
+  options.replications = 3;
+  const SweepResult result = run_sweep(std::move(cases), throughput_and_loss(), options);
+
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.rows.size(), 7u);  // 6 good + 1 bad, all reduced
+  for (const SweepRow& row : result.rows) {
+    if (row.label == "bad-hybrid") {
+      EXPECT_FALSE(row.error.empty());
+      EXPECT_TRUE(row.samples.empty());
+    } else {
+      EXPECT_TRUE(row.error.empty()) << row.error;
+      EXPECT_EQ(row.samples.at("throughput_mbps").size(), 3u);
+    }
+  }
+
+  // The CSV still serializes, with the error in the last column.
+  std::ostringstream out;
+  write_sweep_csv(out, result);
+  EXPECT_NE(out.str().find("bad-hybrid"), std::string::npos);
+  EXPECT_NE(out.str().find("grouping"), std::string::npos);
+}
+
+TEST(SweepEngineTest, RowsComeBackInInputOrderWithParamEcho) {
+  SweepOptions options;
+  options.jobs = 8;
+  const SweepResult result = run_sweep(small_grid(), throughput_and_loss(), options);
+  ASSERT_EQ(result.rows.size(), 6u);
+  const auto reference = small_grid();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(result.rows[i].index, i);
+    EXPECT_EQ(result.rows[i].label, reference[i].label);
+    EXPECT_EQ(result.rows[i].params, reference[i].params);
+  }
+}
 
 }  // namespace
 }  // namespace bufq

@@ -1,0 +1,124 @@
+// Work-stealing TaskPool unit tests: completion, nesting, reuse,
+// concurrent external submitters, and load balancing across workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/task_pool.h"
+
+namespace bufq {
+namespace {
+
+TEST(TaskPoolTest, RunsEveryTask) {
+  TaskPool pool{4};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(TaskPoolTest, ZeroThreadsMeansDefault) {
+  TaskPool pool{0};
+  EXPECT_EQ(pool.thread_count(), TaskPool::default_thread_count());
+  EXPECT_GE(TaskPool::default_thread_count(), 1u);
+}
+
+TEST(TaskPoolTest, WaitIdleWithNoTasksReturns) {
+  TaskPool pool{2};
+  pool.wait_idle();  // must not hang
+}
+
+TEST(TaskPoolTest, PoolIsReusableAfterWaitIdle) {
+  TaskPool pool{2};
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(TaskPoolTest, NestedSubmissionsComplete) {
+  TaskPool pool{3};
+  std::atomic<int> count{0};
+  // Each task fans out children from inside the pool; wait_idle must
+  // cover work submitted by workers, not just the external submitter.
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20 * 11);
+}
+
+TEST(TaskPoolTest, ConcurrentExternalSubmitters) {
+  TaskPool pool{4};
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 250; ++i) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(TaskPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    TaskPool pool{2};
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(TaskPoolTest, WorkSpreadsAcrossWorkers) {
+  // With enough slow-ish tasks, stealing/round-robin must engage more
+  // than one worker.  (Exact balance is scheduling-dependent; we only
+  // require that the pool is not effectively single-threaded.)
+  TaskPool pool{4};
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      {
+        const std::lock_guard<std::mutex> lock{mu};
+        seen.insert(std::this_thread::get_id());
+      }
+      // A little real work so one worker cannot race through the
+      // whole queue before the others wake.
+      volatile std::uint64_t x = 0;
+      for (int k = 0; k < 200000; ++k) x += static_cast<std::uint64_t>(k);
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(seen.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bufq
