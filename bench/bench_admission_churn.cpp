@@ -12,17 +12,30 @@
 //   3. A small churn simulation per scheme: blocking probability,
 //      achieved utilization, and guarantee violations under Poisson
 //      arrivals (see bench_fig* for the figure-series counterparts).
+//   4. Metrics overhead: view 1 repeated with an obs::ScopedMetrics
+//      installed so every admission counter records.  Both passes must
+//      clear the 100k decisions/sec floor and the instrumented pass may
+//      not cost more than 2x the bare one (exit non-zero otherwise).
+//
+// Flags: --metrics-out=PATH writes the instrumented pass's registry plus
+// derived throughput numbers as a BENCH_*.json artifact (exit 1 if PATH
+// is unwritable).
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "admission/admission_controller.h"
 #include "admission/flow_table.h"
 #include "expt/churn_experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sched/wfq.h"
 #include "util/csv.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 namespace {
@@ -36,7 +49,19 @@ constexpr std::size_t kConcurrentFlows = 100'000;
 constexpr std::size_t kDecisions = 1'000'000;
 constexpr double kRequiredDecisionsPerSec = 100'000.0;
 
-double measure_decision_throughput() {
+struct DecisionMeasurement {
+  double per_sec{0.0};
+  /// Registry snapshot of the instrumented pass; empty for the bare one.
+  obs::RegistrySnapshot metrics;
+};
+
+DecisionMeasurement measure_decision_throughput(bool instrumented) {
+  // When instrumented, the FlowTable/AdmissionController below resolve
+  // live handles against this run-private registry; otherwise every
+  // record stays a single not-taken branch.
+  std::optional<obs::ScopedMetrics> scope;
+  if (instrumented) scope.emplace();
+
   admission::FlowTable table{kConcurrentFlows};
   admission::AdmissionController controller{{
       .scheme = admission::Scheme::kFifoThreshold,
@@ -72,7 +97,10 @@ double measure_decision_throughput() {
   }
   const auto end = std::chrono::steady_clock::now();
   const double elapsed = std::chrono::duration<double>(end - begin).count();
-  return static_cast<double>(kDecisions) / elapsed;
+  DecisionMeasurement m;
+  m.per_sec = static_cast<double>(kDecisions) / elapsed;
+  if (scope) m.metrics = scope->registry().snapshot();
+  return m;
 }
 
 const char* scheme_name(ChurnScheme scheme) {
@@ -86,11 +114,20 @@ const char* scheme_name(ChurnScheme scheme) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bufq;
 
+  Flags flags{argc, argv};
+  const std::string metrics_out = flags.get("metrics-out").value_or("");
+  const auto unknown = flags.unused();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (supported: --metrics-out)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+
   std::cout << "# 1) admission-decision throughput, FIFO+thresholds (eq. 10)\n";
-  const double per_sec = measure_decision_throughput();
+  const double per_sec = measure_decision_throughput(false).per_sec;
   CsvWriter speed{std::cout,
                   {"concurrent_flows", "decisions", "decisions_per_sec"}};
   speed.row({static_cast<double>(kConcurrentFlows), static_cast<double>(kDecisions),
@@ -134,9 +171,41 @@ int main() {
                std::to_string(r.counters.nonconformant_drops)});
   }
 
+  std::cout << "\n# 4) metrics overhead: view 1 with live obs handles\n";
+  const DecisionMeasurement instrumented = measure_decision_throughput(true);
+  const double overhead = per_sec / instrumented.per_sec;
+  CsvWriter metrics_csv{std::cout, {"decisions_per_sec_base", "decisions_per_sec_metrics",
+                                    "overhead_ratio"}};
+  metrics_csv.row({per_sec, instrumented.per_sec, overhead});
+
+  if (!metrics_out.empty()) {
+    obs::BenchReport report;
+    report.bench = "bench_admission_churn";
+    report.snapshot = instrumented.metrics;
+    report.derived["decisions_per_sec"] = per_sec;
+    report.derived["decisions_per_sec_metrics_on"] = instrumented.per_sec;
+    report.derived["metrics_overhead_ratio"] = overhead;
+    try {
+      obs::write_bench_json_file(metrics_out, report);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+  }
+
   if (per_sec < kRequiredDecisionsPerSec) {
     std::fprintf(stderr, "FAIL: %.0f decisions/sec < required %.0f\n", per_sec,
                  kRequiredDecisionsPerSec);
+    return 1;
+  }
+  if (instrumented.per_sec < kRequiredDecisionsPerSec) {
+    std::fprintf(stderr, "FAIL: %.0f instrumented decisions/sec < required %.0f\n",
+                 instrumented.per_sec, kRequiredDecisionsPerSec);
+    return 1;
+  }
+  if (overhead > 2.0) {
+    std::fprintf(stderr, "FAIL: metrics overhead %.2fx > allowed 2.00x\n", overhead);
     return 1;
   }
   return 0;

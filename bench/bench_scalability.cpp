@@ -3,12 +3,28 @@
 // with the number of flows.  Measures enqueue+dequeue cost per packet for
 // FIFO+thresholds and per-flow WFQ as the flow count doubles from 2 to
 // 16384.
+//
+// Two modes:
+//   (default)            google-benchmark micro-benchmarks, unchanged
+//   --metrics-out=PATH   one instrumented Table-1 run (events/s from the
+//                        simulator's own counters) plus a dequeue-latency
+//                        micro-measurement, exported as a BENCH_*.json
+//                        perf artifact (see scripts/bench_schema.json)
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "core/threshold.h"
+#include "expt/experiment.h"
+#include "expt/workloads.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sched/fifo.h"
 #include "sched/rpq.h"
 #include "sched/wfq.h"
@@ -171,6 +187,109 @@ void BM_TaskPoolImbalancedWork(benchmark::State& state) {
 
 BENCHMARK(BM_TaskPoolImbalancedWork)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+/// Explicit steady_clock timing of the FIFO+thresholds and WFQ dequeue
+/// paths into registry histograms (works in default builds, unlike the
+/// compiled-out BUFQ_TRACE timers).
+void measure_dequeue_latency(QueueDiscipline& queue, const std::vector<FlowId>& arrivals,
+                             obs::Histogram& latency_ns) {
+  std::size_t i = 0;
+  std::uint64_t seq = 100;
+  for (std::size_t n = 0; n < arrivals.size(); ++n) {
+    const FlowId flow = arrivals[i];
+    i = (i + 1) % arrivals.size();
+    (void)queue.enqueue(Packet{flow, kPkt, seq++, Time::zero()}, Time::zero());
+    const auto begin = std::chrono::steady_clock::now();
+    auto packet = queue.dequeue(Time::zero());
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(packet);
+    latency_ns.record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+  }
+}
+
+/// The --metrics-out path: one instrumented Table-1 FIFO+thresholds run
+/// (simulator event counters, buffer-occupancy histograms) plus dequeue
+/// latency distributions for the FIFO and per-flow-WFQ packet loops.
+/// The latency loops record into standalone histograms, NOT a scoped
+/// registry, so the report's bm.* occupancy series describe the Table-1
+/// run alone — EXPERIMENTS.md compares them against the Prop-1/2
+/// threshold bounds.
+int run_metrics_mode(const std::string& path) {
+  ExperimentConfig config;
+  config.link_rate = paper_link_rate();
+  config.buffer = ByteSize::megabytes(0.5);
+  config.flows = table1_flows();
+  config.scheme.scheduler = SchedulerKind::kFifo;
+  config.scheme.manager = ManagerKind::kThreshold;
+  config.warmup = Time::seconds(1);
+  config.duration = Time::seconds(4);
+  config.seed = 1;
+  const ExperimentResult result = run_experiment(config);
+
+  constexpr std::size_t kFlows = 1024;
+  const auto arrivals = make_arrivals(kFlows, 1 << 16);
+  obs::Histogram fifo_latency;
+  obs::Histogram wfq_latency;
+  {
+    ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(kFlows) * 32 * kPkt), make_thresholds(kFlows)};
+    FifoScheduler fifo{manager};
+    prefill(fifo, kFlows);
+    measure_dequeue_latency(fifo, arrivals, fifo_latency);
+  }
+  {
+    ThresholdManager manager{ByteSize::bytes(static_cast<std::int64_t>(kFlows) * 32 * kPkt), make_thresholds(kFlows)};
+    WfqScheduler wfq{manager, Rate::megabits_per_second(48.0),
+                     std::vector<double>(kFlows, 1.0)};
+    prefill(wfq, kFlows);
+    measure_dequeue_latency(wfq, arrivals, wfq_latency);
+  }
+
+  obs::BenchReport report;
+  report.bench = "bench_scalability";
+  report.snapshot = result.metrics;
+  report.snapshot.histograms["bench.fifo_dequeue_ns"] = fifo_latency.snapshot();
+  report.snapshot.histograms["bench.wfq_dequeue_ns"] = wfq_latency.snapshot();
+  const auto events = report.snapshot.counters.find("sim.events");
+  const auto wall = report.snapshot.counters.find("sim.wall_ns");
+  if (events != report.snapshot.counters.end() && wall != report.snapshot.counters.end() &&
+      wall->second > 0) {
+    report.derived["events_per_sec"] =
+        static_cast<double>(events->second) / (static_cast<double>(wall->second) * 1e-9);
+  }
+  const auto fifo_lat = report.snapshot.histograms.find("bench.fifo_dequeue_ns");
+  if (fifo_lat != report.snapshot.histograms.end()) {
+    report.derived["fifo_dequeue_p50_ns"] = fifo_lat->second.percentile(0.50);
+    report.derived["fifo_dequeue_p99_ns"] = fifo_lat->second.percentile(0.99);
+  }
+  const auto wfq_lat = report.snapshot.histograms.find("bench.wfq_dequeue_ns");
+  if (wfq_lat != report.snapshot.histograms.end()) {
+    report.derived["wfq_dequeue_p50_ns"] = wfq_lat->second.percentile(0.50);
+    report.derived["wfq_dequeue_p99_ns"] = wfq_lat->second.percentile(0.99);
+  }
+
+  try {
+    obs::write_bench_json_file(path, report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --metrics-out before google-benchmark sees the arguments.
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return run_metrics_mode(std::string{argv[i] + std::strlen(kFlag)});
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/export.h"
 #include "util/csv.h"
 #include "util/task_pool.h"
 
@@ -42,11 +43,12 @@ BenchOptions parse_options(int argc, const char* const* argv,
   options.jobs = static_cast<std::size_t>(
       flags.get_int("jobs", static_cast<std::int64_t>(TaskPool::default_thread_count())));
   options.progress = flags.get_bool("progress", false);
+  options.metrics_out = flags.get("metrics-out").value_or("");
   const auto unknown = flags.unused();
   if (!unknown.empty()) {
     std::fprintf(stderr,
                  "unknown flag --%s (supported: --seeds --replications --seed --warmup "
-                 "--duration --buffers --jobs --progress)\n",
+                 "--duration --buffers --jobs --progress --metrics-out)\n",
                  unknown.front().c_str());
     std::exit(2);
   }
@@ -160,6 +162,25 @@ int run_figure_main(int figure, int argc, const char* const* argv) {
   CsvWriter csv{std::cout, fig.columns};
   for (const SweepRow& row : result.rows) {
     csv.row(fig.format_row(row));
+  }
+
+  if (!options.metrics_out.empty()) {
+    obs::BenchReport report;
+    report.bench = fig.name;
+    for (const SweepRow& row : result.rows) report.snapshot.merge(row.obs_metrics);
+    const auto events = report.snapshot.counters.find("sim.events");
+    const auto wall = report.snapshot.counters.find("sim.wall_ns");
+    if (events != report.snapshot.counters.end() && wall != report.snapshot.counters.end() &&
+        wall->second > 0) {
+      report.derived["events_per_sec"] =
+          static_cast<double>(events->second) / (static_cast<double>(wall->second) * 1e-9);
+    }
+    try {
+      obs::write_bench_json_file(options.metrics_out, report);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (!result.ok()) {

@@ -37,6 +37,9 @@ using bufq::threshold_figure_schemes;
 ///   --jobs=N           worker threads (default: hardware concurrency);
 ///                      results are bit-identical at any value
 ///   --progress         progress/ETA line on stderr
+///   --metrics-out=PATH BENCH_*.json perf artifact (obs registry merged
+///                      over every run, plus derived events/s); the run
+///                      fails loudly (exit 1) if PATH is unwritable
 struct BenchOptions {
   std::size_t seeds{5};
   std::uint64_t base_seed{1};
@@ -45,6 +48,7 @@ struct BenchOptions {
   std::vector<double> buffers_mb;
   std::size_t jobs{0};  ///< 0 = hardware concurrency
   bool progress{false};
+  std::string metrics_out;  ///< empty = no metrics artifact
 };
 
 /// Parses options; exits with a message on malformed or unknown flags.

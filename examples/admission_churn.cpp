@@ -47,23 +47,22 @@ int main(int argc, char** argv) {
                              .mean_burst = ByteSize::kilobytes(64.0),
                              .regulated = true};
 
-  const ChurnConfig config{
-      .link_rate = Rate::megabits_per_second(flags.get_double("link_mbps", 48.0)),
-      .buffer = ByteSize::megabytes(flags.get_double("buffer_mb", 1.0)),
-      .scheme = scheme,
-      .headroom = ByteSize::kilobytes(flags.get_double("headroom_kb", 100.0)),
-      .max_flows = static_cast<std::size_t>(flags.get_int("max_flows", 256)),
-      .churn = {.arrival_rate_hz = flags.get_double("lambda", 150.0),
-                .mean_holding =
-                    Time::milliseconds(flags.get_int("holding_ms", 500)),
-                .mix = {{.profile = small,
-                         .weight = flags.get_double("small_weight", 3.0)},
-                        {.profile = large,
-                         .weight = flags.get_double("large_weight", 1.0)}}},
-      .warmup = Time::seconds(flags.get_int("warmup", 2)),
-      .duration = Time::seconds(flags.get_int("duration", 10)),
-      .seed = static_cast<std::uint64_t>(flags.get_int("seed", 7)),
-  };
+  // Field-by-field assembly: GCC 12 raises -Wmaybe-uninitialized false
+  // positives on vectors inside nested designated initializers.
+  ChurnConfig config;
+  config.link_rate = Rate::megabits_per_second(flags.get_double("link_mbps", 48.0));
+  config.buffer = ByteSize::megabytes(flags.get_double("buffer_mb", 1.0));
+  config.scheme = scheme;
+  config.headroom = ByteSize::kilobytes(flags.get_double("headroom_kb", 100.0));
+  config.max_flows = static_cast<std::size_t>(flags.get_int("max_flows", 256));
+  config.churn.arrival_rate_hz = flags.get_double("lambda", 150.0);
+  config.churn.mean_holding = Time::milliseconds(flags.get_int("holding_ms", 500));
+  config.churn.mix = {
+      {.profile = small, .weight = flags.get_double("small_weight", 3.0)},
+      {.profile = large, .weight = flags.get_double("large_weight", 1.0)}};
+  config.warmup = Time::seconds(flags.get_int("warmup", 2));
+  config.duration = Time::seconds(flags.get_int("duration", 10));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 
   if (const auto unknown = flags.unused(); !unknown.empty()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.front().c_str());

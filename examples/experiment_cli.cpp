@@ -48,6 +48,15 @@ ManagerKind parse_manager(const std::string& name) {
   throw std::invalid_argument("unknown --manager '" + name + "'");
 }
 
+// Built via += rather than operator+ chains to sidestep a GCC 12
+// -Wrestrict false positive (gcc bug 105651).
+std::string flow_key(std::size_t f, const char* suffix) {
+  std::string key = "f";
+  key += std::to_string(f);
+  key += suffix;
+  return key;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,10 +116,10 @@ int main(int argc, char** argv) {
       m["conformant_loss"] = result.loss_ratio(conformant);
       for (std::size_t f = 0; f < trial_config.flows.size(); ++f) {
         const auto id = static_cast<FlowId>(f);
-        m["f" + std::to_string(f) + "_mbps"] = result.flow_throughput_mbps(id);
-        m["f" + std::to_string(f) + "_loss"] = result.per_flow[f].loss_ratio();
+        m[flow_key(f, "_mbps")] = result.flow_throughput_mbps(id);
+        m[flow_key(f, "_loss")] = result.per_flow[f].loss_ratio();
         if (with_delays) {
-          m["f" + std::to_string(f) + "_delay_ms"] = result.delays[f].mean_s * 1e3;
+          m[flow_key(f, "_delay_ms")] = result.delays[f].mean_s * 1e3;
         }
       }
       return m;
@@ -123,15 +132,14 @@ int main(int argc, char** argv) {
                         : std::vector<std::string>{"flow", "reserved(Mb/s)",
                                                    "goodput(Mb/s)", "ci95", "loss%"}};
     for (std::size_t f = 0; f < config.flows.size(); ++f) {
-      const auto& mbps = metrics.at("f" + std::to_string(f) + "_mbps");
-      const auto& loss = metrics.at("f" + std::to_string(f) + "_loss");
+      const auto& mbps = metrics.at(flow_key(f, "_mbps"));
+      const auto& loss = metrics.at(flow_key(f, "_loss"));
       std::vector<std::string> row{
           std::to_string(f), format_double(config.flows[f].token_rate.mbps()),
           format_double(mbps.mean), format_double(mbps.half_width_95),
           format_double(loss.mean * 100.0)};
       if (with_delays) {
-        row.push_back(
-            format_double(metrics.at("f" + std::to_string(f) + "_delay_ms").mean));
+        row.push_back(format_double(metrics.at(flow_key(f, "_delay_ms")).mean));
       }
       table.row(std::move(row));
     }

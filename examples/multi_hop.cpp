@@ -62,7 +62,9 @@ int main() {
     thresholds[0] = t0;
     thresholds[static_cast<std::size_t>(h) + 1] = buffer.count() - t0;  // local adversary
 
-    auto node = std::make_unique<Node>("r" + std::to_string(h + 1));
+    std::string name = "r";  // built via += to sidestep a GCC 12 -Wrestrict false positive
+    name += std::to_string(h + 1);
+    auto node = std::make_unique<Node>(name);
     auto manager = std::make_unique<ThresholdManager>(buffer, thresholds);
     auto discipline = std::make_unique<FifoScheduler>(*manager);
     node->add_port(std::make_unique<OutputPort>(sim, link, Time::milliseconds(2),

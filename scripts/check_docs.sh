@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Docs lint, run by the docs-lint CI job:
+#   1. every intra-repo markdown link ([text](path) where path is not a
+#      URL or #anchor) resolves to a real file, and
+#   2. every CMake option() declared at the top level appears in
+#      README.md's build-options table.
+#
+#   scripts/check_docs.sh [repo-root]
+set -euo pipefail
+
+ROOT="$(cd "${1:-$(dirname "${BASH_SOURCE[0]}")/..}" && pwd)"
+fail=0
+
+# --- 1. intra-repo markdown links -----------------------------------------
+while IFS= read -r doc; do
+  # Pull out ](target) link targets; strip #fragments; skip URLs,
+  # anchors, and mailto.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|"#"*|"") continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    base="$(dirname "$doc")"
+    if [ ! -e "$base/$path" ] && [ ! -e "$ROOT/$path" ]; then
+      echo "FAIL broken link in ${doc#"$ROOT"/}: $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//; s/ .*//')
+done < <(find "$ROOT" -name '*.md' -not -path '*/build/*' -not -path '*/.git/*')
+
+# --- 2. CMake options documented in README --------------------------------
+while IFS= read -r opt; do
+  if ! grep -q "$opt" "$ROOT/README.md"; then
+    echo "FAIL CMake option $opt not documented in README.md" >&2
+    fail=1
+  fi
+done < <(grep -oE '^option\(BUFQ_[A-Z_]+' "$ROOT/CMakeLists.txt" | sed 's/^option(//')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs lint failed" >&2
+  exit 1
+fi
+echo "docs lint ok"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Perf-reporting pipeline: runs the instrumented benches with
+# --metrics-out, validates each BENCH_*.json artifact against
+# scripts/bench_schema.json, and leaves them (plus the bench stdout) in
+# OUT_DIR for archiving.  This is the script the bench-metrics CI job
+# runs; see DESIGN.md section 10 for the metric name catalogue.
+#
+#   scripts/record_bench.sh [build-dir]
+#
+# Environment:
+#   OUT_DIR   where artifacts land            (default: bench-metrics)
+#   LABEL     suffix stamped into file names  (default: local)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${OUT_DIR:-bench-metrics}"
+LABEL="${LABEL:-local}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+for bin in bench_scalability bench_admission_churn; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
+    exit 2
+  fi
+done
+mkdir -p "$OUT_DIR"
+
+echo "== bench_scalability (metrics mode) =="
+"$BUILD_DIR/bench/bench_scalability" \
+  --metrics-out="$OUT_DIR/BENCH_scalability_$LABEL.json" \
+  > "$OUT_DIR/bench_scalability_$LABEL.txt"
+
+echo "== bench_admission_churn =="
+"$BUILD_DIR/bench/bench_admission_churn" \
+  --metrics-out="$OUT_DIR/BENCH_admission_churn_$LABEL.json" \
+  > "$OUT_DIR/bench_admission_churn_$LABEL.txt"
+
+echo "== validate =="
+python3 "$SCRIPT_DIR/validate_bench_json.py" "$OUT_DIR"/BENCH_*_"$LABEL".json
+
+echo "artifacts in $OUT_DIR/:"
+ls -l "$OUT_DIR"

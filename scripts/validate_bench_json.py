@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json artifacts against scripts/bench_schema.json.
+
+The metrics-export contract is small enough to check by hand, so this is
+a purpose-built validator rather than a jsonschema dependency: it
+enforces every constraint the schema file records (required keys, value
+types, histogram invariants) plus cross-field consistency the schema
+language cannot express (bucket counts sum to `count`, percentiles lie
+within [min, max]).
+
+Usage:
+    scripts/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+
+Exits non-zero listing every violation found.  Only the Python standard
+library is used.
+"""
+import json
+import sys
+from pathlib import Path
+
+failures = []
+
+
+def fail(path: Path, msg: str) -> None:
+    failures.append(f"{path}: {msg}")
+
+
+def is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def is_num(v) -> bool:
+    return is_int(v) or isinstance(v, float)
+
+
+def check_histogram(path: Path, name: str, h) -> None:
+    if not isinstance(h, dict):
+        fail(path, f"histogram {name!r} is not an object")
+        return
+    for key in ("count", "sum", "min", "max"):
+        if not is_int(h.get(key)):
+            fail(path, f"histogram {name!r}: {key!r} missing or not an integer")
+            return
+    for key in ("mean", "p50", "p90", "p99"):
+        if not is_num(h.get(key)):
+            fail(path, f"histogram {name!r}: {key!r} missing or not a number")
+            return
+    buckets = h.get("buckets")
+    if not isinstance(buckets, list):
+        fail(path, f"histogram {name!r}: 'buckets' missing or not an array")
+        return
+    total = 0
+    prev_lower = -1
+    for i, b in enumerate(buckets):
+        if (not isinstance(b, list) or len(b) != 2 or not is_int(b[0])
+                or not is_int(b[1])):
+            fail(path, f"histogram {name!r}: bucket {i} is not [lower, count]")
+            return
+        lower, count = b
+        if lower <= prev_lower:
+            fail(path, f"histogram {name!r}: bucket lowers not strictly increasing at {i}")
+        if count < 1:
+            fail(path, f"histogram {name!r}: bucket {i} has non-positive count {count}")
+        prev_lower = lower
+        total += count
+    if total != h["count"]:
+        fail(path, f"histogram {name!r}: bucket counts sum to {total}, 'count' is {h['count']}")
+    if h["count"] > 0:
+        if h["min"] > h["max"]:
+            fail(path, f"histogram {name!r}: min {h['min']} > max {h['max']}")
+        for key in ("p50", "p90", "p99"):
+            if not (h["min"] <= h[key] <= h["max"]):
+                fail(path, f"histogram {name!r}: {key}={h[key]} outside [min, max]")
+        if not (h["p50"] <= h["p90"] <= h["p99"]):
+            fail(path, f"histogram {name!r}: percentiles not monotone")
+
+
+def check_report(path: Path) -> None:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+        return
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}, expected 1")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(path, "'bench' missing or not a non-empty string")
+    derived = doc.get("derived")
+    if not isinstance(derived, dict):
+        fail(path, "'derived' missing or not an object")
+    else:
+        for k, v in derived.items():
+            if not is_num(v):
+                fail(path, f"derived[{k!r}] is not a number")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(path, "'metrics' missing or not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(path, f"metrics.{section} missing or not an object")
+            return
+    for name, v in metrics["counters"].items():
+        if not is_int(v) or v < 0:
+            fail(path, f"counter {name!r} is not a non-negative integer")
+    for name, g in metrics["gauges"].items():
+        if not isinstance(g, dict) or not all(
+                is_int(g.get(k)) for k in ("last", "max", "updates")):
+            fail(path, f"gauge {name!r} lacks integer last/max/updates")
+        elif g["updates"] < 0:
+            fail(path, f"gauge {name!r} has negative updates")
+    for name, h in metrics["histograms"].items():
+        check_histogram(path, name, h)
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    paths = [Path(a) for a in argv[1:]]
+    for path in paths:
+        check_report(path)
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    for path in paths:
+        print(f"ok {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,17 +28,22 @@ double AdmissionController::partition_bytes() const {
 }
 
 AdmissionVerdict AdmissionController::try_admit(const FlowSpec& flow, std::size_t group) {
+  decisions_metric_.add();
+  const auto reject = [this](AdmissionVerdict verdict) {
+    rejects_metric_.add();
+    return verdict;
+  };
   const double link_bps = config_.link_rate.bps();
   const double new_rate = reserved_rate_bps_ + flow.rho.bps();
   const double new_sigma = reserved_sigma_ + static_cast<double>(flow.sigma.count());
 
-  if (new_rate > link_bps) return AdmissionVerdict::kBandwidthLimited;
+  if (new_rate > link_bps) return reject(AdmissionVerdict::kBandwidthLimited);
 
   switch (config_.scheme) {
     case Scheme::kWfq:
       // Eq. 6: every flow gets a private sigma-sized allocation.
       if (new_sigma > static_cast<double>(config_.buffer.count())) {
-        return AdmissionVerdict::kBufferLimited;
+        return reject(AdmissionVerdict::kBufferLimited);
       }
       break;
 
@@ -48,9 +53,9 @@ AdmissionVerdict AdmissionController::try_admit(const FlowSpec& flow, std::size_
       // diverges, so a fully reserved link admits only zero-burst flows.
       const double b = partition_bytes();
       if (new_rate == link_bps) {
-        if (new_sigma > 0.0) return AdmissionVerdict::kBufferLimited;
+        if (new_sigma > 0.0) return reject(AdmissionVerdict::kBufferLimited);
       } else if (new_sigma * link_bps / (link_bps - new_rate) > b) {
-        return AdmissionVerdict::kBufferLimited;
+        return reject(AdmissionVerdict::kBufferLimited);
       }
       break;
     }
@@ -67,10 +72,10 @@ AdmissionVerdict AdmissionController::try_admit(const FlowSpec& flow, std::size_
       // Eq. 19 under the optimal alphas: B >= sum(sigma) + S^2 / (R - rho).
       const double excess_Bs = (link_bps - new_rate) / 8.0;
       if (excess_Bs <= 0.0) {
-        if (new_sigma > 0.0) return AdmissionVerdict::kBufferLimited;
+        if (new_sigma > 0.0) return reject(AdmissionVerdict::kBufferLimited);
       } else if (new_sigma + new_s * new_s / excess_Bs >
                  static_cast<double>(config_.buffer.count())) {
-        return AdmissionVerdict::kBufferLimited;
+        return reject(AdmissionVerdict::kBufferLimited);
       }
       groups_[group] = GroupAggregate{.sigma_bytes = sigma_b,
                                       .rho_bytes_per_s = rho_Bs,
@@ -83,6 +88,7 @@ AdmissionVerdict AdmissionController::try_admit(const FlowSpec& flow, std::size_
   reserved_rate_bps_ = new_rate;
   reserved_sigma_ = new_sigma;
   ++admitted_;
+  accepts_metric_.add();
   return AdmissionVerdict::kAccepted;
 }
 

@@ -24,6 +24,7 @@
 
 #include "core/analysis.h"
 #include "core/flow_spec.h"
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace bufq::admission {
@@ -100,6 +101,9 @@ class AdmissionController {
   /// kHybrid running state: per-group aggregates and S = sum of terms.
   std::vector<GroupAggregate> groups_;
   double s_value_{0.0};
+  obs::CounterHandle decisions_metric_{obs::CounterHandle::lookup("admission.decisions")};
+  obs::CounterHandle accepts_metric_{obs::CounterHandle::lookup("admission.accepts")};
+  obs::CounterHandle rejects_metric_{obs::CounterHandle::lookup("admission.rejects")};
 };
 
 }  // namespace bufq::admission

@@ -51,6 +51,7 @@ FlowHandle FlowTable::admit(const FlowSpec& spec, std::int64_t threshold_bytes) 
   rho_bps_[slot] = spec.rho.bps();
   ++generation_[slot];  // even -> odd: occupied
   ++active_count_;
+  resident_metric_.set(static_cast<std::int64_t>(active_count_));
   return FlowHandle{.slot = slot, .generation = generation_[slot]};
 }
 
@@ -64,6 +65,7 @@ void FlowTable::teardown(FlowHandle handle) {
   ++generation_[handle.slot];  // odd -> even: free
   free_slots_.push_back(handle.slot);
   --active_count_;
+  resident_metric_.set(static_cast<std::int64_t>(active_count_));
 }
 
 bool FlowTable::valid(FlowHandle handle) const {

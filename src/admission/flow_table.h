@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/flow_spec.h"
+#include "obs/metrics.h"
 #include "sim/packet.h"
 #include "util/units.h"
 
@@ -97,6 +98,8 @@ class FlowTable {
   /// slot is reused first.
   std::vector<std::uint32_t> free_slots_;
   std::size_t active_count_{0};
+  /// Resident-flow gauge: last = current occupancy, max = peak under churn.
+  obs::GaugeHandle resident_metric_{obs::GaugeHandle::lookup("flow_table.resident")};
 };
 
 }  // namespace bufq::admission

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/packet.h"
 #include "util/units.h"
 
@@ -51,6 +52,11 @@ class AccountingBufferManager : public BufferManager {
   ByteSize capacity_;
   std::vector<std::int64_t> per_flow_;
   std::int64_t total_{0};
+  // Occupancy distributions after each admit: the empirical counterpart of
+  // the Proposition 1/2 backlog bounds (see EXPERIMENTS.md).
+  obs::HistogramHandle occupancy_metric_{obs::HistogramHandle::lookup("bm.occupancy_bytes")};
+  obs::HistogramHandle flow_occupancy_metric_{
+      obs::HistogramHandle::lookup("bm.flow_occupancy_bytes")};
 };
 
 /// No buffer management beyond the physical capacity: admit whenever the

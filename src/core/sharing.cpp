@@ -75,8 +75,11 @@ void BufferSharingManager::release(FlowId flow, std::int64_t bytes, Time now) {
 }
 
 /// Section 3.3 pool discipline: both pools stay within bounds and, with
-/// the current occupancy, exactly tile the buffer.
+/// the current occupancy, exactly tile the buffer.  Doubles as the
+/// post-update point where the pool gauges are published.
 void BufferSharingManager::check_pools(FlowId flow, Time now) const {
+  holes_metric_.set(holes_);
+  headroom_metric_.set(headroom_);
   BUFQ_CHECK(holes_ >= 0, check::Invariant::kSharingPools, flow, now,
              static_cast<double>(holes_), 0.0, "sharing holes went negative");
   BUFQ_CHECK(headroom_ >= 0 && headroom_ <= max_headroom_.count(),

@@ -31,6 +31,7 @@
 #include "core/buffer_manager.h"
 #include "core/flow_spec.h"
 #include "core/threshold.h"
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace bufq {
@@ -64,6 +65,8 @@ class BufferSharingManager final : public AccountingBufferManager {
   ByteSize max_headroom_;
   std::int64_t holes_{0};
   std::int64_t headroom_{0};
+  obs::GaugeHandle holes_metric_{obs::GaugeHandle::lookup("bm.holes_bytes")};
+  obs::GaugeHandle headroom_metric_{obs::GaugeHandle::lookup("bm.headroom_bytes")};
 };
 
 }  // namespace bufq

@@ -1,10 +1,13 @@
 #include "expt/experiment.h"
 
 #include <cassert>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
 #include "check/invariants.h"
+#include "obs/export.h"
 #include "core/buffer_manager.h"
 #include "core/dynamic_threshold.h"
 #include "core/red.h"
@@ -178,6 +181,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // run-private checker (no shared sink between pool workers), whose
   // tallies are folded back into the enclosing checker when we return.
   const check::ScopedChecker run_checker;
+  // Same confinement for metrics: everything below resolves its handles
+  // against this run-private registry (which is why it must precede the
+  // Simulator/pipeline construction); tallies fold into the enclosing
+  // registry on return.
+  obs::ScopedMetrics run_metrics;
 
   Simulator sim;
   Pipeline pipeline = build_pipeline(config);
@@ -219,13 +227,36 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::vector<FlowCounters> at_warmup;
   sim.at(config.warmup, [&] { at_warmup = stats.snapshot(); });
-  sim.run_until(config.warmup + config.duration);
+
+  // Optional metrics time series: a self-rescheduling calendar event
+  // samples the run registry every metrics_sample_period of simulated time.
+  const Time horizon = config.warmup + config.duration;
+  std::unique_ptr<obs::TimeSeriesCsv> series;
+  std::function<void()> sample_tick;
+  if (config.metrics_csv != nullptr) {
+    assert(config.metrics_sample_period > Time::zero());
+    series = std::make_unique<obs::TimeSeriesCsv>(*config.metrics_csv, run_metrics.registry());
+    sample_tick = [&] {
+      series->sample(sim.now());
+      if (sim.now() < horizon) sim.in(config.metrics_sample_period, sample_tick);
+    };
+    sim.in(config.metrics_sample_period, sample_tick);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count();
+  run_metrics.registry().counter("sim.wall_ns").add(static_cast<std::uint64_t>(wall_ns));
 
   const auto at_end = stats.snapshot();
   ExperimentResult result;
   result.interval = config.duration;
   result.checks_run = run_checker.checker().checks_run();
   result.check_violations = run_checker.checker().violation_count();
+  result.metrics = run_metrics.registry().snapshot();
   result.per_flow.reserve(at_end.size());
   for (std::size_t f = 0; f < at_end.size(); ++f) {
     result.per_flow.push_back(at_end[f] - at_warmup[f]);

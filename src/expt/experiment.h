@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "core/flow_spec.h"
 #include "core/selective_sharing.h"
+#include "obs/metrics.h"
 #include "sim/packet.h"
 #include "traffic/sources.h"
 #include "stats/collector.h"
@@ -69,6 +71,11 @@ struct ExperimentConfig {
   /// paper's exponential bursts for heavy-tailed or deterministic ones).
   BurstDistribution burst_distribution{BurstDistribution::kExponential};
   double pareto_shape{1.5};
+  /// When non-null, a metrics time series is appended here: one CSV row per
+  /// `metrics_sample_period` of *simulated* time (obs::TimeSeriesCsv format),
+  /// driven by a recurring calendar event.  Null = no time series.
+  std::ostream* metrics_csv{nullptr};
+  Time metrics_sample_period{Time::seconds(1)};
 };
 
 /// Per-flow delay digest for the measured interval.
@@ -91,6 +98,12 @@ struct ExperimentResult {
   /// stay zero in builds without BUFQ_ENABLE_CHECKS.
   std::uint64_t checks_run{0};
   std::uint64_t check_violations{0};
+  /// Observability snapshot of this run (src/obs): every run executes under
+  /// its own ScopedMetrics, so these are exactly this run's counters,
+  /// gauges and histograms.  Includes the wall-clock `sim.wall_ns` counter
+  /// and so is NOT deterministic across machines; event-count and occupancy
+  /// metrics within it are seed-deterministic.
+  obs::RegistrySnapshot metrics;
 
   [[nodiscard]] double aggregate_throughput_mbps() const;
   [[nodiscard]] double utilization(Rate link_rate) const;

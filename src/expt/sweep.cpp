@@ -25,6 +25,7 @@ struct RunSlot {
   std::vector<FlowCounters> per_flow;
   std::uint64_t checks_run{0};
   std::uint64_t check_violations{0};
+  obs::RegistrySnapshot obs_metrics;
   std::string error;
   bool ok{false};
 };
@@ -86,11 +87,12 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
     try {
       ExperimentConfig config = cases[case_index].config;
       config.seed = slot.seed;
-      const ExperimentResult result = run_experiment(config);
+      ExperimentResult result = run_experiment(config);
       slot.metrics = extract(result);
       slot.per_flow = result.per_flow;
       slot.checks_run = result.checks_run;
       slot.check_violations = result.check_violations;
+      slot.obs_metrics = std::move(result.metrics);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.error = e.what();
@@ -147,6 +149,7 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
       }
       row.checks_run += slot.checks_run;
       row.check_violations += slot.check_violations;
+      row.obs_metrics.merge(slot.obs_metrics);
     }
     std::size_t succeeded = 0;
     for (std::size_t r = 0; r < replications; ++r) {

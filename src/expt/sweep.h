@@ -56,13 +56,17 @@ struct SweepProgress {
   double eta_s{0.0};
 };
 
+/// Engine knobs: parallelism, replication count, and the seed policy.
 struct SweepOptions {
   /// Worker threads; <= 1 runs inline on the calling thread (the serial
   /// reference the CI speedup guard compares against).
   std::size_t jobs{1};
   /// Runs per case; > 1 populates the stddev / CI columns.
   std::size_t replications{1};
+  /// Root of the SeedSequence tree every run seed derives from.
   std::uint64_t base_seed{1};
+  /// See SeedMode; kIndependent unless a bench opts into common random
+  /// numbers.
   SeedMode seed_mode{SeedMode::kIndependent};
   /// When set, a progress/ETA line is written here after every completed
   /// run (throttled to one update per ~200 ms, plus the final one).
@@ -95,15 +99,21 @@ struct SweepRow {
   /// Invariant-checker tallies summed over the replications.
   std::uint64_t checks_run{0};
   std::uint64_t check_violations{0};
+  /// Observability registry folded (RegistrySnapshot::merge) over the
+  /// replications — see ExperimentResult::metrics.  Deliberately NOT
+  /// serialized by write_sweep_csv: its wall-clock components (sim.wall_ns,
+  /// time.*) would break the bit-identical CSV contract.
+  obs::RegistrySnapshot obs_metrics;
   /// First exception message if any replication threw; such a row keeps
   /// the metrics of its surviving replications.
   std::string error;
 };
 
+/// Everything a sweep produced, in case order.
 struct SweepResult {
   std::vector<SweepRow> rows;  ///< one per case, in input order
-  std::size_t jobs{1};
-  std::size_t replications{1};
+  std::size_t jobs{1};         ///< worker count the sweep actually used
+  std::size_t replications{1};  ///< runs per case
   /// Wall-clock of the whole sweep (reporting only — not serialized).
   double elapsed_s{0.0};
 

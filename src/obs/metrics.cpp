@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace bufq::obs {
+namespace {
+
+thread_local MetricsRegistry* t_current = nullptr;
+std::atomic<bool> g_global_enabled{false};
+
+/// fetch_max over a relaxed atomic (no std::atomic::fetch_max pre-C++26).
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t value) {
+  std::int64_t seen = target.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !target.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) {
+  std::int64_t seen = target.load(std::memory_order_relaxed);
+  while (seen > value &&
+         !target.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::note(std::int64_t v) {
+  atomic_max(max_, v);
+  updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) {
+  value_.store(v, std::memory_order_relaxed);
+  note(v);
+}
+
+void Gauge::add(std::int64_t delta) {
+  const std::int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  note(v);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  const auto v = static_cast<std::uint64_t>(std::max<std::int64_t>(value, 0));
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const auto top = static_cast<std::size_t>(std::bit_width(v)) - 1;  // >= kSubBucketBits
+  const auto sub = static_cast<std::size_t>(v >> (top - kSubBucketBits)) & (kSubBuckets - 1);
+  return (top - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < 2 * kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t octave = index / kSubBuckets + kSubBucketBits - 1;
+  const std::size_t sub = index % kSubBuckets;
+  return static_cast<std::int64_t>((std::uint64_t{1} << octave) +
+                                   (static_cast<std::uint64_t>(sub) << (octave - kSubBucketBits)));
+}
+
+double Histogram::bucket_midpoint(std::size_t index) {
+  const double lower = static_cast<double>(bucket_lower_bound(index));
+  const double upper = index + 1 < kBucketCount
+                           ? static_cast<double>(bucket_lower_bound(index + 1))
+                           : std::ldexp(1.0, 63);
+  return lower + (upper - lower - 1.0) / 2.0;
+}
+
+void Histogram::record(std::int64_t value) {
+  const std::int64_t v = std::max<std::int64_t>(value, 0);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  atomic_min(min_, other.min);
+  atomic_max(max_, other.max);
+  const std::size_t n = std::min<std::size_t>(other.buckets.size(), kBucketCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (other.buckets[i] != 0) buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::mean() const {
+  return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::clamp(Histogram::bucket_midpoint(i), static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size());
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, gauge] : other.gauges) {
+    GaugeSnapshot& mine = gauges[name];
+    if (gauge.updates > 0) mine.last = gauge.last;
+    mine.max = std::max(mine.max, gauge.max);
+    mine.updates += gauge.updates;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].merge(histogram);
+  }
+}
+
+namespace {
+
+/// Find-or-create for one of the three metric maps; `conflict` names the
+/// maps this name must NOT already exist in (one kind per name).
+template <typename T, typename MapA, typename MapB>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& own,
+                  const MapA& other_a, const MapB& other_b, std::string_view name) {
+  if (const auto it = own.find(name); it != own.end()) return *it->second;
+  if (other_a.find(name) != other_a.end() || other_b.find(name) != other_b.end()) {
+    throw std::logic_error("metric '" + std::string{name} +
+                           "' already registered as a different kind");
+  }
+  return *own.emplace(std::string{name}, std::make_unique<T>()).first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return find_or_create(counters_, gauges_, histograms_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return find_or_create(gauges_, counters_, histograms_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return find_or_create(histograms_, counters_, gauges_, name);
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] =
+        GaugeSnapshot{.last = gauge->value(), .max = gauge->max(), .updates = gauge->updates()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::absorb(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    if (value != 0) counter(name).add(value);
+  }
+  for (const auto& [name, snap] : other.gauges) {
+    if (snap.updates == 0) continue;
+    Gauge& mine = gauge(name);
+    mine.set(snap.max);   // fold the child's high-water mark in
+    mine.set(snap.last);  // then leave its final level as ours
+  }
+  for (const auto& [name, snap] : other.histograms) {
+    if (snap.count != 0) histogram(name).merge(snap);
+  }
+}
+
+MetricsRegistry* MetricsRegistry::current() {
+  if (t_current != nullptr) return t_current;
+  return g_global_enabled.load(std::memory_order_relaxed) ? &global() : nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::set_global_enabled(bool enabled) {
+  g_global_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::global_enabled() {
+  return g_global_enabled.load(std::memory_order_relaxed);
+}
+
+ScopedMetrics::ScopedMetrics() : previous_{t_current} { t_current = &registry_; }
+
+ScopedMetrics::~ScopedMetrics() {
+  t_current = previous_;
+  if (MetricsRegistry* enclosing = MetricsRegistry::current()) {
+    enclosing->absorb(registry_.snapshot());
+  }
+}
+
+CounterHandle CounterHandle::lookup(std::string_view name) {
+  MetricsRegistry* registry = MetricsRegistry::current();
+  return registry != nullptr ? CounterHandle{&registry->counter(name)} : CounterHandle{};
+}
+
+GaugeHandle GaugeHandle::lookup(std::string_view name) {
+  MetricsRegistry* registry = MetricsRegistry::current();
+  return registry != nullptr ? GaugeHandle{&registry->gauge(name)} : GaugeHandle{};
+}
+
+HistogramHandle HistogramHandle::lookup(std::string_view name) {
+  MetricsRegistry* registry = MetricsRegistry::current();
+  return registry != nullptr ? HistogramHandle{&registry->histogram(name)} : HistogramHandle{};
+}
+
+}  // namespace bufq::obs

@@ -1,0 +1,61 @@
+// Hot-path profiling hooks: BUFQ_TRACE("name") records the wall-clock
+// nanoseconds of its enclosing scope into the current registry's
+// `time.<name>` histogram.
+//
+// Mirrors the BUFQ_CHECK design (check/invariants.h): the macro compiles
+// to nothing — no clock reads, no registry lookup, condition unevaluated —
+// unless BUFQ_ENABLE_TRACE is defined (CMake: -DBUFQ_TRACE=ON).  Even when
+// compiled in, a scope with no current MetricsRegistry costs one branch.
+// Timer histograms are wall-clock and therefore NOT deterministic; they
+// are excluded from anything with a bit-identical-output contract (the
+// sweep CSV) and surface only through the exporters.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bufq::obs {
+
+/// RAII scope timer behind BUFQ_TRACE: resolves `time.<name>` against the
+/// current registry on entry and records elapsed nanoseconds on exit.
+/// No-op (no clock read) when no registry is installed.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name) {
+    if (MetricsRegistry* registry = MetricsRegistry::current()) {
+      histogram_ = &registry->histogram(std::string{"time."} + name);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopeTimer() {
+    if (histogram_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    }
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Histogram* histogram_{nullptr};
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace bufq::obs
+
+// BUFQ_TRACE("name") — times the enclosing scope into histogram
+// `time.name` of the current MetricsRegistry.  Compiled out entirely
+// unless BUFQ_ENABLE_TRACE is defined.
+#if defined(BUFQ_ENABLE_TRACE)
+#define BUFQ_TRACE_CONCAT2(a, b) a##b
+#define BUFQ_TRACE_CONCAT(a, b) BUFQ_TRACE_CONCAT2(a, b)
+#define BUFQ_TRACE(name) \
+  const ::bufq::obs::ScopeTimer BUFQ_TRACE_CONCAT(bufq_trace_, __LINE__) { name }
+#define BUFQ_TRACE_ENABLED 1
+#else
+#define BUFQ_TRACE(name) static_cast<void>(0)
+#define BUFQ_TRACE_ENABLED 0
+#endif

@@ -1,6 +1,7 @@
 #include "sched/fifo.h"
 
 #include "check/invariants.h"
+#include "obs/trace.h"
 
 namespace bufq {
 
@@ -8,9 +9,11 @@ FifoScheduler::FifoScheduler(BufferManager& manager) : manager_{manager} {}
 
 bool FifoScheduler::enqueue(const Packet& packet, Time now) {
   if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    drops_metric_.add();
     if (on_drop_) on_drop_(packet, now);
     return false;
   }
+  accepts_metric_.add();
   queue_.push_back(packet);
   backlog_bytes_ += packet.size_bytes;
   return true;
@@ -18,6 +21,7 @@ bool FifoScheduler::enqueue(const Packet& packet, Time now) {
 
 std::optional<Packet> FifoScheduler::dequeue(Time now) {
   if (queue_.empty()) return std::nullopt;
+  BUFQ_TRACE("sched.dequeue");
   Packet packet = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= packet.size_bytes;

@@ -8,6 +8,7 @@
 #include <deque>
 
 #include "core/buffer_manager.h"
+#include "obs/metrics.h"
 #include "sim/queue_discipline.h"
 
 namespace bufq {
@@ -30,6 +31,8 @@ class FifoScheduler final : public QueueDiscipline {
   std::deque<Packet> queue_;
   std::int64_t backlog_bytes_{0};
   DropHandler on_drop_;
+  obs::CounterHandle accepts_metric_{obs::CounterHandle::lookup("sched.accepts")};
+  obs::CounterHandle drops_metric_{obs::CounterHandle::lookup("sched.drops")};
 };
 
 }  // namespace bufq

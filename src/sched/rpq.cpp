@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/invariants.h"
+#include "obs/trace.h"
 
 namespace bufq {
 
@@ -22,9 +23,11 @@ std::int64_t RpqScheduler::slot_for(Time deadline) const {
 
 bool RpqScheduler::enqueue(const Packet& packet, Time now) {
   if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    drops_metric_.add();
     if (on_drop_) on_drop_(packet, now);
     return false;
   }
+  accepts_metric_.add();
   assert(packet.flow >= 0 &&
          static_cast<std::size_t>(packet.flow) < delay_targets_.size());
   const Time deadline = now + delay_targets_[static_cast<std::size_t>(packet.flow)];
@@ -36,6 +39,7 @@ bool RpqScheduler::enqueue(const Packet& packet, Time now) {
 
 std::optional<Packet> RpqScheduler::dequeue(Time now) {
   if (backlogged_packets_ == 0) return std::nullopt;
+  BUFQ_TRACE("sched.dequeue");
   const auto it = calendar_.begin();
   assert(!it->second.empty());
   const Packet packet = it->second.front();

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "check/invariants.h"
+#include "obs/trace.h"
 
 namespace bufq {
 namespace {
@@ -67,13 +68,16 @@ void WfqScheduler::advance_virtual_time(Time now) {
   BUFQ_CHECK(active_weight_ >= 0.0, check::Invariant::kVirtualTime, -1, now, active_weight_,
              0.0, "WFQ active weight went negative");
   vt_updated_ = now;
+  vt_updates_metric_.add();
 }
 
 bool WfqScheduler::enqueue(const Packet& packet, Time now) {
   if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
+    drops_metric_.add();
     if (on_drop_) on_drop_(packet, now);
     return false;
   }
+  accepts_metric_.add();
   advance_virtual_time(now);
 
   assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flow_to_class_.size());
@@ -96,6 +100,7 @@ bool WfqScheduler::enqueue(const Packet& packet, Time now) {
 
 std::optional<Packet> WfqScheduler::dequeue(Time now) {
   if (backlogged_packets_ == 0) return std::nullopt;
+  BUFQ_TRACE("sched.dequeue");
   advance_virtual_time(now);
 
   const auto it = hol_.begin();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/buffer_manager.h"
+#include "obs/metrics.h"
 #include "sim/queue_discipline.h"
 #include "util/units.h"
 
@@ -92,6 +93,9 @@ class WfqScheduler final : public QueueDiscipline {
   std::uint64_t backlogged_packets_{0};
   std::int64_t backlog_bytes_{0};
   DropHandler on_drop_;
+  obs::CounterHandle accepts_metric_{obs::CounterHandle::lookup("sched.accepts")};
+  obs::CounterHandle drops_metric_{obs::CounterHandle::lookup("sched.drops")};
+  obs::CounterHandle vt_updates_metric_{obs::CounterHandle::lookup("sched.wfq.vt_updates")};
 };
 
 }  // namespace bufq

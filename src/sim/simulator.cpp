@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/invariants.h"
+#include "obs/trace.h"
 
 namespace bufq {
 
@@ -23,6 +24,7 @@ void Simulator::in(Time delay, Action action) {
 
 bool Simulator::step() {
   if (stopped_ || heap_.empty()) return false;
+  BUFQ_TRACE("sim.step");
   // priority_queue::top() is const; move the action out via a copy of the
   // handle before popping.
   Event ev = heap_.top();
@@ -31,6 +33,8 @@ bool Simulator::step() {
              now_.to_seconds(), "event calendar ran backwards");
   now_ = ev.time;
   ++processed_;
+  events_metric_.add();
+  depth_metric_.record(static_cast<std::int64_t>(heap_.size()));
   ev.action();
   return true;
 }

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace bufq {
@@ -72,6 +73,10 @@ class Simulator {
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};
   bool stopped_{false};
+  // Resolved against the registry installed when the Simulator is built
+  // (the run's ScopedMetrics); no-ops when none is.
+  obs::CounterHandle events_metric_{obs::CounterHandle::lookup("sim.events")};
+  obs::HistogramHandle depth_metric_{obs::HistogramHandle::lookup("sim.calendar_depth")};
 };
 
 }  // namespace bufq

@@ -23,8 +23,11 @@
 
 namespace bufq {
 
+/// Work-stealing pool of `threads` workers; see the file comment for the
+/// scheduling discipline and the no-throw task contract.
 class TaskPool {
  public:
+  /// A unit of work; must not throw (see file comment).
   using Task = std::function<void()>;
 
   /// Spawns `threads` workers; 0 means default_thread_count().
@@ -45,6 +48,7 @@ class TaskPool {
   /// submitted) has finished.
   void wait_idle();
 
+  /// Number of worker threads this pool spawned.
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
   /// Hardware concurrency with a floor of 1 (hardware_concurrency() may

@@ -109,7 +109,7 @@ TEST(TaskPoolTest, WorkSpreadsAcrossWorkers) {
       // A little real work so one worker cannot race through the
       // whole queue before the others wake.
       volatile std::uint64_t x = 0;
-      for (int k = 0; k < 200000; ++k) x += static_cast<std::uint64_t>(k);
+      for (int k = 0; k < 200000; ++k) x = x + static_cast<std::uint64_t>(k);
       count.fetch_add(1, std::memory_order_relaxed);
     });
   }
