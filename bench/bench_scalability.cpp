@@ -12,6 +12,7 @@
 //                        perf artifact (see scripts/bench_schema.json)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +29,8 @@
 #include "sched/fifo.h"
 #include "sched/rpq.h"
 #include "sched/wfq.h"
+#include "sim/inline_action.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/task_pool.h"
 
@@ -207,13 +210,58 @@ void measure_dequeue_latency(QueueDiscipline& queue, const std::vector<FlowId>& 
   }
 }
 
-/// The --metrics-out path: one instrumented Table-1 FIFO+thresholds run
+/// Self-rescheduling event spinner for the pure-kernel measurement: a
+/// fixed population of periodic events with co-prime-ish gaps, so the
+/// calendar stays mixed-depth while nothing but the kernel runs.
+struct KernelTicker {
+  Simulator* sim{nullptr};
+  Time gap{Time::zero()};
+  std::int64_t remaining{0};
+
+  void arm() {
+    const auto tick = [this] {
+      if (remaining-- > 0) arm();
+    };
+    static_assert(InlineAction::stores_inline<decltype(tick)>,
+                  "kernel spin event must not allocate");
+    sim->in(gap, tick);
+  }
+};
+
+/// Events/s of the bare calendar + dispatch loop, with no packets, no
+/// schedulers, and no metrics recording in the way.  Long enough (a few
+/// million events) that one number is stable run to run — the anchor for
+/// the event-kernel perf trajectory next to the noisier (tens of ms)
+/// Table-1 scenario.
+double measure_kernel_events_per_sec() {
+  constexpr int kTickers = 64;
+  constexpr std::int64_t kEvents = 4'000'000;
+  Simulator sim;
+  std::vector<KernelTicker> tickers(kTickers);
+  for (int i = 0; i < kTickers; ++i) {
+    tickers[static_cast<std::size_t>(i)] =
+        KernelTicker{&sim, Time::nanoseconds(997 + 13 * i), kEvents / kTickers};
+    tickers[static_cast<std::size_t>(i)].arm();
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  sim.run();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - begin).count();
+  return seconds > 0.0 ? static_cast<double>(sim.events_processed()) / seconds : 0.0;
+}
+
+/// The --metrics-out path: instrumented Table-1 FIFO+thresholds runs
 /// (simulator event counters, buffer-occupancy histograms) plus dequeue
 /// latency distributions for the FIFO and per-flow-WFQ packet loops.
 /// The latency loops record into standalone histograms, NOT a scoped
 /// registry, so the report's bm.* occupancy series describe the Table-1
 /// run alone — EXPERIMENTS.md compares them against the Prop-1/2
 /// threshold bounds.
+///
+/// The Table-1 scenario simulates in a few tens of milliseconds, so a
+/// single wall-clock sample is scheduler-noise-dominated; the run repeats
+/// kEventRateReps times (bit-identical simulations — only wall time
+/// varies) and events_per_sec is the median rate.
 int run_metrics_mode(const std::string& path) {
   ExperimentConfig config;
   config.link_rate = paper_link_rate();
@@ -224,7 +272,21 @@ int run_metrics_mode(const std::string& path) {
   config.warmup = Time::seconds(1);
   config.duration = Time::seconds(4);
   config.seed = 1;
+
+  constexpr int kEventRateReps = 5;
   const ExperimentResult result = run_experiment(config);
+  std::vector<double> rates;
+  rates.reserve(kEventRateReps);
+  for (int rep = 0; rep < kEventRateReps; ++rep) {
+    const ExperimentResult r = rep == 0 ? result : run_experiment(config);
+    const auto ev = r.metrics.counters.find("sim.events");
+    const auto ns = r.metrics.counters.find("sim.wall_ns");
+    if (ev != r.metrics.counters.end() && ns != r.metrics.counters.end() && ns->second > 0) {
+      rates.push_back(static_cast<double>(ev->second) /
+                      (static_cast<double>(ns->second) * 1e-9));
+    }
+  }
+  std::sort(rates.begin(), rates.end());
 
   constexpr std::size_t kFlows = 1024;
   const auto arrivals = make_arrivals(kFlows, 1 << 16);
@@ -249,13 +311,11 @@ int run_metrics_mode(const std::string& path) {
   report.snapshot = result.metrics;
   report.snapshot.histograms["bench.fifo_dequeue_ns"] = fifo_latency.snapshot();
   report.snapshot.histograms["bench.wfq_dequeue_ns"] = wfq_latency.snapshot();
-  const auto events = report.snapshot.counters.find("sim.events");
-  const auto wall = report.snapshot.counters.find("sim.wall_ns");
-  if (events != report.snapshot.counters.end() && wall != report.snapshot.counters.end() &&
-      wall->second > 0) {
-    report.derived["events_per_sec"] =
-        static_cast<double>(events->second) / (static_cast<double>(wall->second) * 1e-9);
+  if (!rates.empty()) {
+    report.derived["events_per_sec"] = rates[rates.size() / 2];
+    report.derived["events_per_sec_best"] = rates.back();
   }
+  report.derived["kernel_events_per_sec"] = measure_kernel_events_per_sec();
   const auto fifo_lat = report.snapshot.histograms.find("bench.fifo_dequeue_ns");
   if (fifo_lat != report.snapshot.histograms.end()) {
     report.derived["fifo_dequeue_p50_ns"] = fifo_lat->second.percentile(0.50);

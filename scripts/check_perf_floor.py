@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Perf floor for the event kernel: fails when a BENCH JSON reports a
+Table-1 event rate below a conservative minimum.
+
+The floor is deliberately far below the rates a development machine
+records (tens of millions of events/s): it is not a regression detector
+for small slowdowns — shared CI runners are too noisy for that — but a
+tripwire for the failure modes that motivated the event kernel rework,
+such as reintroducing a per-event heap allocation or an accidental
+O(n)-per-op calendar, which each cost an order of magnitude.
+
+Usage:
+    scripts/check_perf_floor.py [--floor=EVENTS_PER_SEC] BENCH.json [...]
+
+Only the Python standard library is used.
+"""
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_FLOOR = 5.0e5
+
+
+def main(argv: list[str]) -> int:
+    floor = DEFAULT_FLOOR
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--floor="):
+            floor = float(arg.split("=", 1)[1])
+        else:
+            paths.append(Path(arg))
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in paths:
+        report = json.loads(path.read_text())
+        rate = report.get("derived", {}).get("events_per_sec")
+        if rate is None:
+            print(f"{path}: missing derived.events_per_sec", file=sys.stderr)
+            failures += 1
+        elif rate < floor:
+            print(
+                f"{path}: events_per_sec {rate:.0f} below floor {floor:.0f}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"{path}: events_per_sec {rate:.0f} >= floor {floor:.0f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,8 +35,16 @@ echo "== bench_admission_churn =="
   --metrics-out="$OUT_DIR/BENCH_admission_churn_$LABEL.json" \
   > "$OUT_DIR/bench_admission_churn_$LABEL.txt"
 
+echo "== derive event-kernel artifact =="
+python3 "$SCRIPT_DIR/derive_event_kernel.py" \
+  "$OUT_DIR/BENCH_scalability_$LABEL.json" \
+  "$OUT_DIR/BENCH_event_kernel_$LABEL.json"
+
 echo "== validate =="
 python3 "$SCRIPT_DIR/validate_bench_json.py" "$OUT_DIR"/BENCH_*_"$LABEL".json
+
+echo "== perf floor =="
+python3 "$SCRIPT_DIR/check_perf_floor.py" "$OUT_DIR/BENCH_event_kernel_$LABEL.json"
 
 echo "artifacts in $OUT_DIR/:"
 ls -l "$OUT_DIR"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/inline_action.h"
+
 namespace bufq::admission {
 
 ChurnDriver::ChurnDriver(Simulator& sim, AdmissionController& controller, FlowTable& table,
@@ -117,8 +119,12 @@ void ChurnDriver::on_arrival() {
   ++holding_;
   if (on_admit_) on_admit_(flow_id, profile);
 
-  sim_.in(rng_.exponential_time(config_.mean_holding),
-          [this, handle] { on_departure(handle); });
+  const auto depart = [this, handle] { on_departure(handle); };
+  // Largest churn capture (this + FlowHandle); must stay inline in the
+  // event record so flow setup/teardown never allocates per event.
+  static_assert(InlineAction::stores_inline<decltype(depart)>,
+                "churn departure event must not allocate");
+  sim_.in(rng_.exponential_time(config_.mean_holding), depart);
   schedule_next_arrival();
 }
 

@@ -24,8 +24,10 @@ void AccountingBufferManager::account_admit(FlowId flow, std::int64_t bytes, Tim
   BUFQ_CHECK(total_ <= capacity_.count(), check::Invariant::kCapacity, flow, now,
              static_cast<double>(total_), static_cast<double>(capacity_.count()),
              "admit pushed total occupancy past the buffer capacity");
-  occupancy_metric_.record(total_);
-  flow_occupancy_metric_.record(per_flow_[static_cast<std::size_t>(flow)]);
+  if ((++admits_ & 15u) == 0) {
+    occupancy_metric_.record(total_);
+    flow_occupancy_metric_.record(per_flow_[static_cast<std::size_t>(flow)]);
+  }
   static_cast<void>(now);
 }
 

@@ -207,6 +207,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Rng master{config.seed};
   std::vector<std::unique_ptr<LeakyBucketShaper>> shapers;
   std::vector<std::unique_ptr<MarkovOnOffSource>> sources;
+  shapers.reserve(config.flows.size());
+  sources.reserve(config.flows.size());
   for (std::size_t f = 0; f < config.flows.size(); ++f) {
     const auto& profile = config.flows[f];
     PacketSink* entry = &tap;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
@@ -26,7 +28,17 @@ OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
       if (propagation_ == Time::zero()) {
         downstream_->accept(p);
       } else {
-        sim_.in(propagation_, [this, p] { downstream_->accept(p); });
+        // Constant delay => FIFO exit order, so the wire is a deque and
+        // the arrival event captures only `this`.
+        in_flight_.push_back(p);
+        const auto arrive = [this] {
+          const Packet head = in_flight_.front();
+          in_flight_.pop_front();
+          downstream_->accept(head);
+        };
+        static_assert(InlineAction::stores_inline<decltype(arrive)>,
+                      "propagation arrival event must not allocate");
+        sim_.in(propagation_, arrive);
       }
     });
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,11 @@ class OutputPort {
   std::unique_ptr<QueueDiscipline> discipline_;
   std::unique_ptr<Link> link_;
   PacketSink* downstream_;
+  /// Packets on the propagation wire, oldest first.  The delay is
+  /// constant, so arrivals leave in FIFO order and each arrival event
+  /// only needs to capture `this` (keeping it inside the InlineAction
+  /// buffer) and pop the front.
+  std::deque<Packet> in_flight_;
   std::int64_t dropped_bytes_{0};
   std::uint64_t dropped_packets_{0};
 };

@@ -153,8 +153,8 @@ namespace {
 /// Find-or-create for one of the three metric maps; `conflict` names the
 /// maps this name must NOT already exist in (one kind per name).
 template <typename T, typename MapA, typename MapB>
-T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& own,
-                  const MapA& other_a, const MapB& other_b, std::string_view name) {
+T& find_or_create(MetricsRegistry::MetricMap<T>& own, const MapA& other_a,
+                  const MapB& other_b, std::string_view name) {
   if (const auto it = own.find(name); it != own.end()) return *it->second;
   if (other_a.find(name) != other_a.end() || other_b.find(name) != other_b.end()) {
     throw std::logic_error("metric '" + std::string{name} +

@@ -19,11 +19,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace bufq::obs {
@@ -191,12 +193,27 @@ class MetricsRegistry {
   static void set_global_enabled(bool enabled);
   [[nodiscard]] static bool global_enabled();
 
+ public:
+  /// Transparent hasher so handle lookups probe with the string_view name
+  /// directly — no temporary std::string on the registration path.
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  template <typename T>
+  using MetricMap =
+      std::unordered_map<std::string, std::unique_ptr<T>, StringHash, std::equal_to<>>;
+
  private:
   mutable std::mutex mu_;
-  // unique_ptr for address stability across rehashes of the maps.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Hash maps (iteration order irrelevant: snapshot() re-sorts into
+  // std::map for export); unique_ptr keeps metric addresses stable across
+  // rehashes so handles outlive later registrations.
+  MetricMap<Counter> counters_;
+  MetricMap<Gauge> gauges_;
+  MetricMap<Histogram> histograms_;
 };
 
 /// RAII per-run metrics confinement, mirroring check::ScopedChecker: while

@@ -10,14 +10,13 @@
 // slot floor(deadline / granularity); service always takes the
 // front-of-line packet of the earliest non-empty slot.  Within a slot,
 // FIFO.  Deadlines are therefore respected up to one granularity quantum
-// — exactly RPQ's "rotation" approximation of EDF — with O(log S) cost
-// for S = occupied slots (bounded by max d_i / granularity, independent
-// of the flow count).
+// — exactly RPQ's "rotation" approximation of EDF — with amortized O(1)
+// cost per packet over a slot ring sized by max d_i / granularity,
+// independent of the flow count.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <vector>
 
 #include "core/buffer_manager.h"
@@ -39,17 +38,37 @@ class RpqScheduler final : public QueueDiscipline {
   [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
   void set_drop_handler(DropHandler handler) override { on_drop_ = std::move(handler); }
 
-  [[nodiscard]] std::size_t occupied_slots() const { return calendar_.size(); }
+  [[nodiscard]] std::size_t occupied_slots() const { return occupied_; }
   [[nodiscard]] Time granularity() const { return granularity_; }
+
+  /// Current calendar capacity in slots (grows by doubling when the
+  /// backlog spans more slots than the ring holds).  Exposed for tests.
+  [[nodiscard]] std::size_t ring_slots() const { return ring_.size(); }
 
  private:
   [[nodiscard]] std::int64_t slot_for(Time deadline) const;
+  [[nodiscard]] std::size_t index_of(std::int64_t slot) const {
+    return static_cast<std::size_t>(slot) & (ring_.size() - 1);
+  }
+  void grow(std::int64_t span);
+  [[nodiscard]] std::int64_t first_occupied_slot() const;
 
   BufferManager& manager_;
   std::vector<Time> delay_targets_;
   Time granularity_;
-  /// slot index -> FIFO of packets due in that slot.
-  std::map<std::int64_t, std::deque<Packet>> calendar_;
+  /// The calendar proper: a power-of-two ring of per-slot FIFOs indexed
+  /// by (absolute slot & mask), with an occupancy bitmap so the earliest
+  /// non-empty slot is found by word-at-a-time scanning instead of a
+  /// node-based map walk.  RPQ's deadline span is bounded by
+  /// max delay target / granularity, so the ring rarely (if ever) grows.
+  std::vector<std::deque<Packet>> ring_;
+  std::vector<std::uint64_t> occupancy_;
+  /// No occupied slot is earlier than this (advanced on dequeue, lowered
+  /// on enqueue when a packet files ahead of the current earliest slot).
+  std::int64_t min_slot_{0};
+  /// Largest slot filed since the calendar was last empty.
+  std::int64_t max_slot_{0};
+  std::size_t occupied_{0};
   std::uint64_t backlogged_packets_{0};
   std::int64_t backlog_bytes_{0};
   DropHandler on_drop_;

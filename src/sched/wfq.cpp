@@ -89,7 +89,7 @@ bool WfqScheduler::enqueue(const Packet& packet, Time now) {
   state.last_finish = finish;
 
   if (state.queue.empty()) {
-    hol_.insert({finish, cls});
+    hol_.push({finish, cls});
     active_weight_ += state.weight;
   }
   state.queue.push_back(StampedPacket{packet, finish});
@@ -103,9 +103,7 @@ std::optional<Packet> WfqScheduler::dequeue(Time now) {
   BUFQ_TRACE("sched.dequeue");
   advance_virtual_time(now);
 
-  const auto it = hol_.begin();
-  const std::size_t cls = it->second;
-  hol_.erase(it);
+  const std::size_t cls = hol_.pop().second;
 
   ClassState& state = classes_[cls];
   assert(!state.queue.empty());
@@ -118,7 +116,7 @@ std::optional<Packet> WfqScheduler::dequeue(Time now) {
     // runs do not accumulate float dust.
     if (backlogged_packets_ == 1) active_weight_ = 0.0;
   } else {
-    hol_.insert({state.queue.front().finish, cls});
+    hol_.push({state.queue.front().finish, cls});
   }
 
   --backlogged_packets_;

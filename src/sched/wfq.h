@@ -20,12 +20,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/buffer_manager.h"
 #include "obs/metrics.h"
 #include "sim/queue_discipline.h"
+#include "util/dary_heap.h"
 #include "util/units.h"
 
 namespace bufq {
@@ -72,7 +73,7 @@ class WfqScheduler final : public QueueDiscipline {
  public:
   /// Resident per-class state, the scalability cost the paper's buffer
   /// management avoids: weight + finish stamp + queue bookkeeping, not
-  /// counting the hol_ sort entry (~4 words per backlogged class) or the
+  /// counting the hol_ heap entry (2 words per backlogged class) or the
   /// per-packet finish stamps.  Reported by bench_admission_churn against
   /// FlowTable::bytes_per_flow().
   static constexpr std::size_t kPerClassStateBytes = sizeof(ClassState);
@@ -85,8 +86,12 @@ class WfqScheduler final : public QueueDiscipline {
   Rate link_rate_;
   std::vector<std::size_t> flow_to_class_;
   std::vector<ClassState> classes_;
-  /// Head-of-line stamps of backlogged classes, ordered by (finish, class).
-  std::set<std::pair<double, std::size_t>> hol_;
+  /// Head-of-line stamps of backlogged classes, keyed by (finish, class).
+  /// Only insert and pop-min are ever needed, so a flat 4-ary heap beats
+  /// the node-based std::set: contiguous storage, no per-insert
+  /// allocation, and the exact-min pop with the same (finish, class)
+  /// tie-break keeps service order identical.
+  DaryMinHeap<std::pair<double, std::size_t>, 4> hol_;
   double virtual_time_{0.0};
   double active_weight_{0.0};
   Time vt_updated_{Time::zero()};

@@ -1,0 +1,76 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufq {
+
+CalendarQueue::CalendarQueue(int width_shift, std::size_t bucket_count_log2)
+    : width_shift_{width_shift}, bucket_count_log2_{bucket_count_log2} {
+  assert(width_shift >= 0 && width_shift < 62);
+  assert(bucket_count_log2 >= 1 && bucket_count_log2 <= kMaxBucketCountLog2);
+  buckets_ = std::vector<Bucket>(bucket_count());
+  occupancy_.assign((bucket_count() + 63) / 64, 0);
+}
+
+Time CalendarQueue::min_time() const {
+  assert(size_ > 0);
+  Time best = Time::max();
+  if (ring_size_ > 0) {
+    const Bucket& bucket = buckets_[index_of(first_occupied_window())];
+    best = bucket[min_index(bucket)].time;
+  }
+  // The far tier may hold an event whose window slid inside the horizon
+  // since the last pop (drains are lazy), so it can beat the ring.
+  if (!overflow_.empty() && overflow_.top().time < best) best = overflow_.top().time;
+  return best;
+}
+
+void CalendarQueue::rebuild_at(std::int64_t window) {
+  std::vector<Event> pending;
+  pending.reserve(ring_size_);
+  for (Bucket& bucket : buckets_) {
+    for (Event& ev : bucket) pending.push_back(std::move(ev));
+    bucket.clear();
+  }
+  std::fill(occupancy_.begin(), occupancy_.end(), 0);
+  ring_size_ = 0;
+  cursor_window_ = window;
+  for (Event& ev : pending) {
+    const std::int64_t w = window_of(ev.time);
+    if (w >= horizon()) {
+      overflow_.push(std::move(ev));
+    } else {
+      file_into_ring(std::move(ev), w);
+    }
+  }
+}
+
+void CalendarQueue::narrow() {
+  assert(width_shift_ > 0);
+  // Re-anchor in absolute time: the cursor's window index changes
+  // meaning when the shift does.
+  const std::int64_t anchor_ns = cursor_window_ << width_shift_;
+  width_shift_ = std::max(width_shift_ - kWidthShrinkStep, 0);
+  // Every pending event's time is >= the old cursor window's start, so
+  // the re-derived cursor window is still a lower bound for all of them.
+  rebuild_at(anchor_ns >> width_shift_);
+}
+
+void CalendarQueue::grow() {
+  std::vector<Event> pending;
+  pending.reserve(ring_size_);
+  for (Bucket& bucket : buckets_) {
+    for (Event& ev : bucket) pending.push_back(std::move(ev));
+    bucket.clear();
+  }
+  ++bucket_count_log2_;
+  buckets_ = std::vector<Bucket>(bucket_count());
+  occupancy_.assign((bucket_count() + 63) / 64, 0);
+  ring_size_ = 0;
+  // The old horizon is inside the new one, so every ring event re-files
+  // into the ring (never the far tier).
+  for (Event& ev : pending) file_into_ring(std::move(ev), window_of(ev.time));
+}
+
+}  // namespace bufq

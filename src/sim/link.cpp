@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/inline_action.h"
 
 namespace bufq {
 
@@ -21,13 +22,18 @@ void Link::try_transmit() {
   auto next = queue_.dequeue(sim_.now());
   if (!next) return;
   busy_ = true;
-  const Time tx = rate_.transmission_time(next->size_bytes);
-  BUFQ_CHECK(tx >= Time::zero(), check::Invariant::kEventClock, next->flow, sim_.now(),
+  in_flight_ = *next;
+  const Time tx = rate_.transmission_time(in_flight_.size_bytes);
+  BUFQ_CHECK(tx >= Time::zero(), check::Invariant::kEventClock, in_flight_.flow, sim_.now(),
              tx.to_seconds(), 0.0, "negative transmission time");
-  sim_.in(tx, [this, packet = *next] { finish_transmission(packet); });
+  const auto complete = [this] { finish_transmission(); };
+  static_assert(InlineAction::stores_inline<decltype(complete)>,
+                "link completion event must not allocate");
+  sim_.in(tx, complete);
 }
 
-void Link::finish_transmission(const Packet& packet) {
+void Link::finish_transmission() {
+  const Packet packet = in_flight_;
   busy_ = false;
   bytes_delivered_ += packet.size_bytes;
   ++packets_delivered_;

@@ -40,12 +40,16 @@ class Link : public PacketSink {
 
  private:
   void try_transmit();
-  void finish_transmission(const Packet& packet);
+  void finish_transmission();
 
   Simulator& sim_;
   QueueDiscipline& queue_;
   Rate rate_;
   DeliveryHandler on_delivery_;
+  /// The packet currently on the wire (valid while busy_).  Stored here
+  /// rather than captured by the completion event so that event's lambda
+  /// captures only `this` and stays inside the InlineAction buffer.
+  Packet in_flight_{};
   bool busy_{false};
   std::int64_t bytes_delivered_{0};
   std::uint64_t packets_delivered_{0};

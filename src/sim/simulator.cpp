@@ -1,56 +1,10 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <utility>
-
-#include "check/invariants.h"
-#include "obs/trace.h"
-
 namespace bufq {
-
-void Simulator::at(Time t, Action action) {
-  BUFQ_CHECK(t >= now_, check::Invariant::kEventClock, -1, now_, t.to_seconds(),
-             now_.to_seconds(), "event scheduled in the past");
-#if !BUFQ_CHECKS_ENABLED
-  assert(t >= now_ && "cannot schedule in the past");
-#endif
-  heap_.push(Event{t, next_seq_++, std::move(action)});
-}
-
-void Simulator::in(Time delay, Action action) {
-  assert(delay >= Time::zero());
-  at(now_ + delay, std::move(action));
-}
-
-bool Simulator::step() {
-  if (stopped_ || heap_.empty()) return false;
-  BUFQ_TRACE("sim.step");
-  // priority_queue::top() is const; move the action out via a copy of the
-  // handle before popping.
-  Event ev = heap_.top();
-  heap_.pop();
-  BUFQ_CHECK(ev.time >= now_, check::Invariant::kEventClock, -1, now_, ev.time.to_seconds(),
-             now_.to_seconds(), "event calendar ran backwards");
-  now_ = ev.time;
-  ++processed_;
-  events_metric_.add();
-  depth_metric_.record(static_cast<std::int64_t>(heap_.size()));
-  ev.action();
-  return true;
-}
 
 void Simulator::run() {
   while (step()) {
   }
-  stopped_ = false;
-}
-
-void Simulator::run_until(Time t) {
-  assert(t >= now_);
-  while (!stopped_ && !heap_.empty() && heap_.top().time <= t) {
-    step();
-  }
-  if (!stopped_) now_ = t;
   stopped_ = false;
 }
 

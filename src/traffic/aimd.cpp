@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 AimdSource::AimdSource(Simulator& sim, PacketSink& sink, Params params)
@@ -30,7 +32,10 @@ void AimdSource::emit_packet() {
                       .created = sim_.now()});
   bytes_emitted_ += params_.packet_bytes;
   ++packets_emitted_;
-  sim_.in(rate_.transmission_time(params_.packet_bytes), [this] { emit_packet(); });
+  const auto tick = [this] { emit_packet(); };
+  static_assert(InlineAction::stores_inline<decltype(tick)>,
+                "AIMD emission event must not allocate");
+  sim_.in(rate_.transmission_time(params_.packet_bytes), tick);
 }
 
 void AimdSource::epoch() {

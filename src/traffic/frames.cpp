@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 FrameSource::FrameSource(Simulator& sim, PacketSink& sink, Params params, Rng rng)
@@ -46,7 +48,10 @@ void FrameSource::emit_segment() {
   bytes_emitted_ += params_.segment_bytes;
   ++packets_emitted_;
   if (index + 1 < params_.segments_per_frame) {
-    sim_.in(segment_gap_, [this] { emit_segment(); });
+    const auto tick = [this] { emit_segment(); };
+    static_assert(InlineAction::stores_inline<decltype(tick)>,
+                  "frame segment event must not allocate");
+    sim_.in(segment_gap_, tick);
   }
 }
 

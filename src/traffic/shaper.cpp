@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 LeakyBucketShaper::LeakyBucketShaper(Simulator& sim, PacketSink& downstream, ByteSize depth,
@@ -51,10 +53,13 @@ void LeakyBucketShaper::schedule_release() {
   // always move at least 1ns so the event makes progress.
   wait = std::max(wait, Time::nanoseconds(1));
   release_pending_ = true;
-  sim_.in(wait, [this] {
+  const auto release = [this] {
     release_pending_ = false;
     release_ready();
-  });
+  };
+  static_assert(InlineAction::stores_inline<decltype(release)>,
+                "shaper release event must not allocate");
+  sim_.in(wait, release);
 }
 
 }  // namespace bufq

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 // ---------------------------------------------------------------- ON-OFF
@@ -45,9 +47,14 @@ void MarkovOnOffSource::stop() { stopped_ = true; }
 
 void MarkovOnOffSource::schedule(Time delay, void (MarkovOnOffSource::*next)()) {
   next_event_ = sim_.now() + delay;
-  sim_.in(delay, [this, next] {
+  const auto fire = [this, next] {
     if (!stopped_) (this->*next)();
-  });
+  };
+  // Every source event goes through here; the member-pointer capture is
+  // the largest a source schedules and must stay inside the event record.
+  static_assert(InlineAction::stores_inline<decltype(fire)>,
+                "source events must not allocate");
+  sim_.in(delay, fire);
 }
 
 void MarkovOnOffSource::begin_on_period() {

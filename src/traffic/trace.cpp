@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/inline_action.h"
+
 namespace bufq {
 
 std::vector<TraceEntry> read_trace(std::istream& in) {
@@ -57,7 +59,10 @@ void TraceSource::start() {
   started_ = true;
   if (entries_.empty()) return;
   assert(entries_.front().at >= sim_.now());
-  sim_.at(entries_.front().at, [this] { emit_next(); });
+  const auto fire = [this] { emit_next(); };
+  static_assert(InlineAction::stores_inline<decltype(fire)>,
+                "trace replay event must not allocate");
+  sim_.at(entries_.front().at, fire);
 }
 
 void TraceSource::emit_next() {

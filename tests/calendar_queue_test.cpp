@@ -1,0 +1,201 @@
+#include "sim/calendar_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace bufq {
+namespace {
+
+CalendarQueue::Event make_event(std::int64_t ns, std::uint64_t seq) {
+  return CalendarQueue::Event{Time::nanoseconds(ns), seq, InlineAction{}};
+}
+
+// Equal timestamps must pop in push (sequence) order even when the
+// burst of ties straddles every structural boundary the queue has:
+// bucket-edge timestamps, neighbouring windows, and the resize rebuilds
+// a deep same-time bucket triggers.
+TEST(CalendarQueueTest, EqualTimestampFifoAcrossBucketBoundaries) {
+  CalendarQueue q{/*width_shift=*/4, /*bucket_count_log2=*/3};  // 16ns x 8 buckets
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> expected;
+  // Ties exactly on a bucket edge (32 = 2 * 16ns), just before it, and
+  // in the next window, interleaved so the per-bucket vectors are
+  // unsorted.
+  for (const std::int64_t ns : {32, 31, 32, 33, 31, 32, 48, 33, 32, 31, 48, 32}) {
+    expected.emplace_back(ns, seq);
+    q.push(make_event(ns, seq++));
+  }
+  // A same-time pile deep enough to trigger the width narrowing (the
+  // rebuild must not reorder the ties).
+  for (int i = 0; i < 20; ++i) {
+    expected.emplace_back(64, seq);
+    q.push(make_event(64, seq++));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (const auto& [ns, s] : expected) {
+    const CalendarQueue::Event ev = q.pop_min();
+    EXPECT_EQ(ev.time.ns(), ns);
+    EXPECT_EQ(ev.seq, s);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// The two lazy-resize levers are observable: pushing past the average
+// depth doubles the bucket count, and piling events into one window
+// narrows the width.
+TEST(CalendarQueueTest, LazyResizeGrowsBucketCountAndNarrowsWidth) {
+  {
+    CalendarQueue q{/*width_shift=*/0, /*bucket_count_log2=*/3};
+    const std::size_t before = q.bucket_count();
+    // All times inside the initial 8-window horizon (beyond-horizon
+    // events would sit in the far tier and never pressure the ring);
+    // width 0 cannot narrow, so occupancy must double the bucket count.
+    for (std::int64_t i = 0; i < 200; ++i) {
+      q.push(make_event(i % 8, static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_GT(q.bucket_count(), before);
+    EXPECT_EQ(q.width_shift(), 0);
+  }
+  {
+    CalendarQueue q{/*width_shift=*/10, /*bucket_count_log2=*/3};
+    // Distinct times, one 1024ns window: depth alone must narrow the width.
+    for (std::int64_t i = 0; i < 20; ++i) q.push(make_event(i, static_cast<std::uint64_t>(i)));
+    EXPECT_LT(q.width_shift(), 10);
+  }
+}
+
+// run_until() landing exactly on a bucket-edge timestamp processes that
+// timestamp (<= horizon), leaves strictly later events pending, and
+// parks the clock on the horizon.
+TEST(CalendarQueueTest, RunUntilExactlyOnBucketEdge) {
+  Simulator sim;
+  // Default width is 2^13 ns, so 8192 is the first bucket edge.
+  const std::int64_t edge = std::int64_t{1} << CalendarQueue::kDefaultWidthShift;
+  std::vector<std::int64_t> fired;
+  for (const std::int64_t ns : {edge - 1, edge, edge + 1}) {
+    sim.at(Time::nanoseconds(ns), [&fired, ns] { fired.push_back(ns); });
+  }
+  sim.run_until(Time::nanoseconds(edge));
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{edge - 1, edge}));
+  EXPECT_EQ(sim.now().ns(), edge);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_until(Time::nanoseconds(edge + 1));
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+// stop() inside an event ends the run with the rest of the bucket still
+// pending; a later run() resumes from exactly where it left off.
+TEST(CalendarQueueTest, StopAndResumeMidBucket) {
+  Simulator sim;
+  std::vector<int> fired;
+  // All three land in the same default-width bucket (window 0).
+  sim.at(Time::nanoseconds(100), [&fired] { fired.push_back(1); });
+  sim.at(Time::nanoseconds(200), [&] {
+    fired.push_back(2);
+    sim.stop();
+  });
+  sim.at(Time::nanoseconds(300), [&fired] { fired.push_back(3); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_EQ(sim.now().ns(), 200);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(sim.stopped() == false);
+}
+
+// The same holds for run_until: a stop mid-horizon must not advance the
+// clock to the horizon, and the next run_until picks the bucket back up.
+TEST(CalendarQueueTest, StopDoesNotAdvanceRunUntilHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time::nanoseconds(10), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(Time::nanoseconds(20), [&] { ++fired; });
+  sim.run_until(Time::nanoseconds(1000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), 10);
+  sim.run_until(Time::nanoseconds(1000));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), 1000);
+}
+
+// Differential check against a reference heap ordered by (time, seq):
+// one million operations of near-monotone pushes (never before the last
+// popped time, matching the simulator's contract) interleaved with
+// pops, across configurations that exercise the default geometry, a
+// tiny ring that forces constant far-tier traffic, and a zero-width
+// ring where every distinct time is its own window.
+TEST(CalendarQueueTest, MatchesReferenceHeapOverRandomizedWorkload) {
+  struct Config {
+    int width_shift;
+    std::size_t bucket_count_log2;
+    std::uint64_t seed;
+  };
+  const Config configs[] = {
+      {CalendarQueue::kDefaultWidthShift, CalendarQueue::kDefaultBucketCountLog2, 1},
+      {2, 3, 2},   // 4ns x 8 buckets: 32ns horizon, heavy overflow churn
+      {0, 4, 3},   // width 1ns: rebase + drain dominate
+      {20, 6, 4},  // ~1ms windows: everything piles into few buckets
+  };
+  using Key = std::pair<std::int64_t, std::uint64_t>;  // (time, seq)
+  for (const Config& config : configs) {
+    CalendarQueue q{config.width_shift, config.bucket_count_log2};
+    std::priority_queue<Key, std::vector<Key>, std::greater<>> reference;
+    Rng rng{config.seed};
+    std::uint64_t seq = 0;
+    std::int64_t last_popped = 0;
+    constexpr std::size_t kOps = 250'000;  // x4 configs = 1M operations
+    for (std::size_t op = 0; op < kOps; ++op) {
+      const bool push = reference.empty() || rng.uniform_u64(100) < 55;
+      if (push) {
+        // Mixed horizons: mostly near-future, a tail of far-future times
+        // that must detour through the overflow tier.
+        const std::uint64_t kind = rng.uniform_u64(100);
+        std::int64_t delta;
+        if (kind < 60) {
+          delta = static_cast<std::int64_t>(rng.uniform_u64(64));  // incl. ties
+        } else if (kind < 95) {
+          delta = static_cast<std::int64_t>(rng.uniform_u64(10'000));
+        } else {
+          delta = static_cast<std::int64_t>(rng.uniform_u64(5'000'000));
+        }
+        q.push(make_event(last_popped + delta, seq));
+        reference.emplace(last_popped + delta, seq);
+        ++seq;
+      } else {
+        const Key expected = reference.top();
+        reference.pop();
+        ASSERT_EQ(q.min_time().ns(), expected.first);
+        const CalendarQueue::Event ev = q.pop_min();
+        ASSERT_EQ(ev.time.ns(), expected.first);
+        ASSERT_EQ(ev.seq, expected.second);
+        last_popped = expected.first;
+      }
+      ASSERT_EQ(q.size(), reference.size());
+    }
+    while (!reference.empty()) {
+      const Key expected = reference.top();
+      reference.pop();
+      const CalendarQueue::Event ev = q.pop_min();
+      ASSERT_EQ(ev.time.ns(), expected.first);
+      ASSERT_EQ(ev.seq, expected.second);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+}  // namespace
+}  // namespace bufq

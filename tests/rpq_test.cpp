@@ -95,6 +95,35 @@ TEST(RpqSchedulerTest, OccupiedSlotsBoundedByHorizon) {
   }
 }
 
+TEST(RpqSchedulerTest, RingGrowsForDeadlinesBeyondInitialSpan) {
+  // The slot ring is sized from the largest target at construction and
+  // doubles when the live deadline span outgrows it; growth must
+  // relocate pending packets without disturbing deadline order.
+  TailDropManager mgr{ByteSize::bytes(1'000'000), 2};
+  RpqScheduler rpq{mgr, {Time::milliseconds(1), Time::milliseconds(100)},
+                   Time::milliseconds(1)};
+  const std::size_t initial_slots = rpq.ring_slots();
+  ASSERT_TRUE(rpq.enqueue(make_packet(0, 0), kNow));
+  // Advancing the clock stretches the live span: flow 1's deadline sits
+  // ~100 slots past a minimum pinned at slot 0 by the waiting packet.
+  Time now = kNow;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    now = now + Time::milliseconds(1);
+    ASSERT_TRUE(rpq.enqueue(make_packet(1, i), now));
+  }
+  EXPECT_GT(rpq.ring_slots(), initial_slots);
+  // The first packet (earliest deadline) still comes out first, then
+  // flow 1 in arrival order.
+  EXPECT_EQ(rpq.dequeue(now)->flow, 0);
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const auto p = rpq.dequeue(now);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->flow, 1);
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_EQ(rpq.occupied_slots(), 0u);
+}
+
 TEST(RpqSchedulerTest, EndToEndDelayTargetsRespected) {
   // A low-rate urgent flow against a saturating bulk flow: with
   // per-flow thresholds and RPQ, the urgent flow's delay stays near its
