@@ -1,117 +1,55 @@
-// Multi-hop provisioning: carry one premium flow across a 3-router path
-// where every router also carries hostile local cross-traffic, using only
-// FIFO queues + per-hop buffer thresholds.
+// Multi-hop provisioning: carry one premium flow across a 3-router
+// parking-lot path where every router also carries hostile local
+// cross-traffic, using only FIFO queues + per-hop buffer thresholds.
 //
 //   ./multi_hop
 //
-// Demonstrates the network-calculus composition rule the library ships
-// (net/node.h): the flow leaves each FIFO hop with its burst inflated by
-// rho * B/R, so each successive hop is provisioned with the inflated
-// envelope and the flow stays lossless end to end.
+// Built on the fabric layer (src/fabric): the parking-lot generator
+// declares the topology, the planner walks the premium flow's path
+// applying the network-calculus composition rule (burst inflated by
+// rho * B/R per FIFO hop) to reserve per-hop thresholds, and the egress
+// sink audits every delivered packet against the composed delay bound.
 #include <cstdio>
 
-#include <memory>
-#include <vector>
-
-#include "core/threshold.h"
-#include "net/node.h"
-#include "sched/fifo.h"
-#include "sim/simulator.h"
-#include "traffic/sources.h"
+#include "fabric/scenario.h"
 
 int main() {
   using namespace bufq;
+  using namespace bufq::fabric;
 
-  const Rate link = Rate::megabits_per_second(48.0);
-  const auto buffer = ByteSize::kilobytes(500.0);
-  constexpr std::int64_t kPkt = 500;
-  constexpr int kHops = 3;
+  FabricConfig config;
+  config.topology = FabricTopologyKind::kParkingLot;
+  config.size = 3;
+  config.premium_rate = Rate::megabits_per_second(12.0);
+  config.load = 2.0;  // each hop's greedy adversary offers 2x the link rate
+  config.warmup = Time::seconds(2);
+  config.duration = Time::seconds(20);
+  config.scheme.scheduler = FabricScheduler::kFifo;
+  config.scheme.manager = FabricManager::kThreshold;
 
-  Simulator sim;
-
-  // Flow ids: 0 = premium end-to-end flow; 1..kHops = one local greedy
-  // adversary per hop.
-  FlowSpec envelope{Rate::megabits_per_second(12.0), ByteSize::bytes(2 * kPkt)};
-
-  // Terminal sink counts what survives the whole path.
-  class CountingSink final : public PacketSink {
-   public:
-    void accept(const Packet& p) override {
-      if (p.flow == 0) bytes += p.size_bytes;
-    }
-    std::int64_t bytes{0};
-  } sink;
-
-  // Build routers back to front so each can point at its successor.
-  std::vector<std::unique_ptr<Node>> routers;
-  PacketSink* downstream = &sink;
-  std::vector<FlowSpec> hop_envelopes;  // envelope entering hop h
-  {
-    FlowSpec e = envelope;
-    for (int h = 0; h < kHops; ++h) {
-      hop_envelopes.push_back(e);
-      e = output_envelope(e, buffer, link);
-    }
-  }
-  for (int h = kHops - 1; h >= 0; --h) {
-    const auto& e = hop_envelopes[static_cast<std::size_t>(h)];
-    const auto t0 = e.sigma.count() +
-                    static_cast<std::int64_t>(static_cast<double>(buffer.count()) *
-                                              (e.rho / link));
-    std::vector<std::int64_t> thresholds(static_cast<std::size_t>(kHops) + 1, 0);
-    thresholds[0] = t0;
-    thresholds[static_cast<std::size_t>(h) + 1] = buffer.count() - t0;  // local adversary
-
-    std::string name = "r";  // built via += to sidestep a GCC 12 -Wrestrict false positive
-    name += std::to_string(h + 1);
-    auto node = std::make_unique<Node>(name);
-    auto manager = std::make_unique<ThresholdManager>(buffer, thresholds);
-    auto discipline = std::make_unique<FifoScheduler>(*manager);
-    node->add_port(std::make_unique<OutputPort>(sim, link, Time::milliseconds(2),
-                                                std::move(manager), std::move(discipline),
-                                                downstream));
-    node->route(0, 0);
-    node->route(static_cast<FlowId>(h + 1), 0);
-    downstream = node.get();
-    routers.push_back(std::move(node));
-  }
-  Node& ingress = *routers.back();  // r1
-
-  std::printf("3-hop path, 48 Mb/s links, 500 KB buffer per hop, FIFO + thresholds.\n");
-  std::printf("premium flow reserves 12 Mb/s; per-hop envelopes (burst inflation):\n");
-  for (int h = 0; h < kHops; ++h) {
-    std::printf("  hop %d: sigma = %s\n", h + 1,
-                hop_envelopes[static_cast<std::size_t>(h)].sigma.to_string().c_str());
+  const FabricScenario scenario = build_fabric_scenario(config);
+  std::printf("3-hop parking lot, 48 Mb/s links, 500 KB buffer per hop, "
+              "FIFO + planner thresholds.\n\n%s\n",
+              scenario.plan.report(scenario.topo).c_str());
+  if (!scenario.plan.feasible) {
+    std::printf("planner reports the reservation infeasible\n");
+    return 1;
   }
 
-  CbrSource premium{sim, ingress, 0, envelope.rho, kPkt};
-  std::vector<std::unique_ptr<GreedySource>> adversaries;
-  for (int h = 0; h < kHops; ++h) {
-    // Each adversary enters at its own router (routers stored back to
-    // front: router index kHops-1-h serves hop h).
-    adversaries.push_back(std::make_unique<GreedySource>(
-        sim, *routers[static_cast<std::size_t>(kHops - 1 - h)],
-        static_cast<FlowId>(h + 1), link * 2.0, kPkt));
-    adversaries.back()->start();
-  }
-  premium.start();
-
-  const Time horizon = Time::seconds(30);
-  sim.run_until(horizon);
-
-  const double sent_mbps =
-      static_cast<double>(premium.bytes_emitted()) * 8.0 / horizon.to_seconds() * 1e-6;
-  const double delivered_mbps =
-      static_cast<double>(sink.bytes) * 8.0 / horizon.to_seconds() * 1e-6;
-  std::printf("\npremium flow: sent %.2f Mb/s, delivered end-to-end %.2f Mb/s\n",
-              sent_mbps, delivered_mbps);
-  for (int h = 0; h < kHops; ++h) {
-    const auto& port = routers[static_cast<std::size_t>(kHops - 1 - h)]->port(0);
-    std::printf("  hop %d: dropped %llu packets total (adversary traffic)\n", h + 1,
-                static_cast<unsigned long long>(port.dropped_packets()));
+  const ExperimentResult result = run_fabric_experiment(config);
+  const double delivered_mbps = result.flow_throughput_mbps(0);
+  std::printf("premium flow: delivered %.2f Mb/s end to end, loss %.4f%%\n", delivered_mbps,
+              result.per_flow.front().loss_ratio() * 100.0);
+  if (!result.delays.empty()) {
+    std::printf("premium delay: p50 %.2f ms, p100 %.2f ms (composed bound %.2f ms)\n",
+                result.delays.front().p50_s * 1e3, result.delays.front().max_s * 1e3,
+                scenario.plan.flows.front().delay_bound_s * 1e3);
   }
   std::printf("\nEvery hop ran a plain FIFO with O(1) admission; the premium flow crossed\n"
               "three saturated routers losslessly because each hop reserved\n"
-              "sigma_hop + rho*B/R for it, with sigma inflated per hop.\n");
-  return delivered_mbps > 11.0 ? 0 : 1;
+              "sigma_hop + rho*B/R for it, with sigma inflated per hop by the planner.\n");
+
+  const bool lossless = result.per_flow.front().dropped_packets == 0;
+  const bool violations = result.check_violations != 0;
+  return delivered_mbps > 11.0 && lossless && !violations ? 0 : 1;
 }

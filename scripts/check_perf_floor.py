@@ -12,6 +12,8 @@ O(n)-per-op calendar, which each cost an order of magnitude.
 Usage:
     scripts/check_perf_floor.py [--floor=EVENTS_PER_SEC] BENCH.json [...]
 
+Each report's floor is looked up by its "bench" name in FLOORS (falling
+back to DEFAULT_FLOOR); --floor overrides the lookup for every file.
 Only the Python standard library is used.
 """
 import json
@@ -19,14 +21,23 @@ import sys
 from pathlib import Path
 
 DEFAULT_FLOOR = 5.0e5
+# Per-bench floors where the workload differs materially from the Table-1
+# single-multiplexer runs.  bench_fabric times a 16-switch leaf-spine
+# fabric (16 hosts, 160 ports, per-hop routing + end-to-end audit per
+# packet), so its per-event cost is inherently higher; development
+# machines record several million events/s, making 1e5 the same
+# order-of-magnitude tripwire DEFAULT_FLOOR is for the kernel.
+FLOORS = {
+    "bench_fabric": 1.0e5,
+}
 
 
 def main(argv: list[str]) -> int:
-    floor = DEFAULT_FLOOR
+    override = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--floor="):
-            floor = float(arg.split("=", 1)[1])
+            override = float(arg.split("=", 1)[1])
         else:
             paths.append(Path(arg))
     if not paths:
@@ -36,6 +47,9 @@ def main(argv: list[str]) -> int:
     failures = 0
     for path in paths:
         report = json.loads(path.read_text())
+        floor = override
+        if floor is None:
+            floor = FLOORS.get(report.get("bench", ""), DEFAULT_FLOOR)
         rate = report.get("derived", {}).get("events_per_sec")
         if rate is None:
             print(f"{path}: missing derived.events_per_sec", file=sys.stderr)

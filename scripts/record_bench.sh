@@ -17,7 +17,7 @@ OUT_DIR="${OUT_DIR:-bench-metrics}"
 LABEL="${LABEL:-local}"
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
-for bin in bench_scalability bench_admission_churn; do
+for bin in bench_scalability bench_admission_churn bench_fabric; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     exit 2
@@ -35,6 +35,11 @@ echo "== bench_admission_churn =="
   --metrics-out="$OUT_DIR/BENCH_admission_churn_$LABEL.json" \
   > "$OUT_DIR/bench_admission_churn_$LABEL.txt"
 
+echo "== bench_fabric =="
+"$BUILD_DIR/bench/bench_fabric" --seeds=2 \
+  --metrics-out="$OUT_DIR/BENCH_fabric_$LABEL.json" \
+  > "$OUT_DIR/bench_fabric_$LABEL.txt"
+
 echo "== derive event-kernel artifact =="
 python3 "$SCRIPT_DIR/derive_event_kernel.py" \
   "$OUT_DIR/BENCH_scalability_$LABEL.json" \
@@ -44,7 +49,9 @@ echo "== validate =="
 python3 "$SCRIPT_DIR/validate_bench_json.py" "$OUT_DIR"/BENCH_*_"$LABEL".json
 
 echo "== perf floor =="
-python3 "$SCRIPT_DIR/check_perf_floor.py" "$OUT_DIR/BENCH_event_kernel_$LABEL.json"
+python3 "$SCRIPT_DIR/check_perf_floor.py" \
+  "$OUT_DIR/BENCH_event_kernel_$LABEL.json" \
+  "$OUT_DIR/BENCH_fabric_$LABEL.json"
 
 echo "artifacts in $OUT_DIR/:"
 ls -l "$OUT_DIR"

@@ -21,6 +21,8 @@ const char* to_string(Invariant invariant) {
       return "virtual-time";
     case Invariant::kEventClock:
       return "event-clock";
+    case Invariant::kDelayBound:
+      return "delay-bound";
   }
   return "unknown";
 }

@@ -10,6 +10,8 @@
 //                   holes + headroom + Q == B          (Section 3.3)
 //   kVirtualTime    WFQ virtual time is monotone, active weight >= 0
 //   kEventClock     the event calendar never runs backwards
+//   kDelayBound     measured end-to-end delay <= the fabric planner's
+//                   composed per-hop bound sum((B_h + L)/R_h + prop_h)
 //
 // Call sites use the BUFQ_CHECK / BUFQ_CHECK_REPORT macros, which compile
 // to nothing unless BUFQ_ENABLE_CHECKS is defined (CMake: -DBUFQ_CHECKS=ON,
@@ -40,6 +42,7 @@ enum class Invariant {
   kSharingPools,
   kVirtualTime,
   kEventClock,
+  kDelayBound,
 };
 
 [[nodiscard]] const char* to_string(Invariant invariant);

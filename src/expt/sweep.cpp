@@ -85,9 +85,14 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
                     ? seq.derive(replication)
                     : seq.derive(case_index, replication);
     try {
-      ExperimentConfig config = cases[case_index].config;
-      config.seed = slot.seed;
-      ExperimentResult result = run_experiment(config);
+      ExperimentResult result;
+      if (cases[case_index].runner) {
+        result = cases[case_index].runner(slot.seed);
+      } else {
+        ExperimentConfig config = cases[case_index].config;
+        config.seed = slot.seed;
+        result = run_experiment(config);
+      }
       slot.metrics = extract(result);
       slot.per_flow = result.per_flow;
       slot.checks_run = result.checks_run;

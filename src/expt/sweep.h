@@ -34,6 +34,13 @@ struct SweepCase {
   /// {"buffer_mb", "0.5"}.  All cases of one sweep must use the same keys.
   std::vector<std::pair<std::string, std::string>> params;
   ExperimentConfig config;
+  /// Custom run function.  When set, the engine calls it with the derived
+  /// seed instead of run_experiment(config) — `config` is then unused.
+  /// Lets non-single-multiplexer pipelines (the fabric scenarios) ride the
+  /// same engine; the determinism contract is unchanged as long as the
+  /// runner's result depends only on the seed.  Must be thread safe across
+  /// concurrent invocations (called from pool workers).
+  std::function<ExperimentResult(std::uint64_t seed)> runner;
 };
 
 /// How replication sub-seeds relate across cases.

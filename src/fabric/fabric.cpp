@@ -1,0 +1,172 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "check/invariants.h"
+#include "core/dynamic_threshold.h"
+#include "core/sharing.h"
+#include "core/threshold.h"
+#include "sched/fifo.h"
+#include "sched/wfq.h"
+
+namespace bufq::fabric {
+namespace {
+
+std::unique_ptr<BufferManager> make_manager(const FabricScheme& scheme, const LinkParams& params,
+                                            std::vector<std::int64_t> thresholds) {
+  switch (scheme.manager) {
+    case FabricManager::kTailDrop:
+      return std::make_unique<TailDropManager>(params.buffer, thresholds.size());
+    case FabricManager::kThreshold:
+      return std::make_unique<ThresholdManager>(params.buffer, std::move(thresholds));
+    case FabricManager::kSharing:
+      return std::make_unique<BufferSharingManager>(params.buffer, std::move(thresholds),
+                                                    scheme.headroom);
+    case FabricManager::kDynamicThreshold:
+      return std::make_unique<DynamicThresholdManager>(params.buffer, thresholds.size(),
+                                                       scheme.dt_alpha);
+  }
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<QueueDiscipline> make_discipline(const FabricScheme& scheme,
+                                                 BufferManager& manager,
+                                                 const LinkParams& params,
+                                                 const std::vector<double>& weights) {
+  if (scheme.scheduler == FabricScheduler::kWfq) {
+    return std::make_unique<WfqScheduler>(manager, params.rate, weights);
+  }
+  return std::make_unique<FifoScheduler>(manager);
+}
+
+}  // namespace
+
+Fabric::Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
+               const ProvisionPlan& plan, const std::vector<FlowBinding>& bindings,
+               const FabricScheme& scheme)
+    : sim_{sim},
+      topo_{topo},
+      scheme_{scheme},
+      stats_{plan.flows.size()},
+      delays_{plan.flows.size()},
+      enforce_delay_bound_{scheme.scheduler == FabricScheduler::kFifo} {
+  static_cast<void>(routes);  // paths were pinned into `plan` already
+  const std::size_t flow_count = plan.flows.size();
+
+  flow_dst_.assign(flow_count, -1);
+  flow_src_.assign(flow_count, -1);
+  flow_bound_.assign(flow_count, Time::zero());
+  for (const FlowBinding& b : bindings) {
+    const auto f = static_cast<std::size_t>(b.flow);
+    assert(f < flow_count);
+    flow_dst_[f] = b.dst;
+    flow_src_[f] = b.src;
+    flow_bound_[f] = Time::from_seconds(plan.flows[f].delay_bound_s);
+  }
+
+  // WFQ weights by global flow id: declared token rates, floored at one
+  // bit per second because WfqScheduler requires positive weights (a
+  // best-effort flow with rho = 0 still needs a class).
+  std::vector<double> weights(flow_count, 1.0);
+  for (const FlowBinding& b : bindings) {
+    weights[static_cast<std::size_t>(b.flow)] = std::max(b.spec.rho.bps(), 1.0);
+  }
+
+  // Phase 1: nodes and egress sinks, so every link's downstream exists
+  // before any port is constructed (the graph may have cycles).
+  nodes_.reserve(topo.node_count());
+  sinks_.resize(topo.node_count());
+  taps_.resize(topo.node_count());
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    nodes_.push_back(std::make_unique<Node>(topo.node(static_cast<NodeId>(n)).name));
+    if (topo.node(static_cast<NodeId>(n)).host) {
+      sinks_[n] = std::make_unique<EgressSink>(*this, static_cast<NodeId>(n));
+    }
+  }
+
+  // Phase 2: one OutputPort per directed link, on its tail node, in
+  // out-link order (so port index == position in out_links).
+  link_port_.assign(topo.link_count(), {-1, 0});
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    for (const LinkId l : topo.out_links(id)) {
+      const TopoLink& link = topo.link(l);
+      PacketSink* downstream = topo.node(link.to).host
+                                   ? static_cast<PacketSink*>(sinks_[static_cast<std::size_t>(link.to)].get())
+                                   : static_cast<PacketSink*>(nodes_[static_cast<std::size_t>(link.to)].get());
+      auto manager =
+          make_manager(scheme_, link.params, plan.thresholds_for(l, flow_count));
+      auto discipline = make_discipline(scheme_, *manager, link.params, weights);
+      auto port = std::make_unique<OutputPort>(sim_, link.params.rate, link.params.propagation,
+                                               std::move(manager), std::move(discipline),
+                                               downstream);
+      // Every hop's drop lands in the shared collector, so per-flow loss
+      // is end to end, not per multiplexer.
+      port->set_drop_tap([this](const Packet& p, Time t) { stats_.on_dropped(p, t); });
+      const std::size_t index = nodes_[n]->add_port(std::move(port));
+      link_port_[static_cast<std::size_t>(l)] = {id, index};
+    }
+  }
+
+  // Phase 3: install the pinned paths as per-node routes.
+  for (const FlowPlan& fp : plan.flows) {
+    for (const LinkId l : fp.path) {
+      const auto& [node, port] = link_port_[static_cast<std::size_t>(l)];
+      nodes_[static_cast<std::size_t>(node)]->route(fp.flow, port);
+    }
+  }
+}
+
+PacketSink& Fabric::ingress(FlowId flow) {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_src_.size());
+  const NodeId src = flow_src_[static_cast<std::size_t>(flow)];
+  assert(src >= 0);
+  auto& tap = taps_[static_cast<std::size_t>(src)];
+  if (tap == nullptr) {
+    tap = std::make_unique<OfferedTrafficTap>(stats_, *nodes_[static_cast<std::size_t>(src)]);
+  }
+  return *tap;
+}
+
+Node& Fabric::node(NodeId id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+OutputPort& Fabric::port_for_link(LinkId link) {
+  assert(link >= 0 && static_cast<std::size_t>(link) < link_port_.size());
+  const auto& [node, port] = link_port_[static_cast<std::size_t>(link)];
+  assert(node >= 0);
+  return nodes_[static_cast<std::size_t>(node)]->port(port);
+}
+
+double Fabric::delay_bound_s(FlowId flow) const {
+  assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_bound_.size());
+  return flow_bound_[static_cast<std::size_t>(flow)].to_seconds();
+}
+
+void Fabric::EgressSink::accept(const Packet& packet) {
+  Fabric& f = fabric_;
+  const auto flow = static_cast<std::size_t>(packet.flow);
+  if (packet.flow < 0 || flow >= f.flow_dst_.size() || f.flow_dst_[flow] != self_) {
+    f.misrouted_metric_.add();
+    return;
+  }
+  const Time now = f.sim_.now();
+  f.stats_.on_delivered(packet, now);
+  const Time delay = now - packet.created;
+  f.e2e_delay_metric_.record(delay.ns() / 1'000);
+  if (now >= f.measure_from_) f.delays_.record(packet, now);
+  if (f.enforce_delay_bound_ && f.flow_bound_[flow] > Time::zero()) {
+    // The planner's composed FIFO bound holds for every delivered packet,
+    // warmup included — no gating.
+    BUFQ_CHECK(delay <= f.flow_bound_[flow],
+               check::Invariant::kDelayBound, packet.flow, now, delay.to_seconds(),
+               f.flow_bound_[flow].to_seconds(),
+               "delivered packet exceeded composed end-to-end delay bound");
+  }
+}
+
+}  // namespace bufq::fabric

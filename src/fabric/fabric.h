@@ -1,0 +1,124 @@
+// Fabric: instantiates a Topology as live net/node machinery.
+//
+// Construction is two-phase because the graph may contain cycles (duplex
+// links): first a Node per topology node and an egress sink per host,
+// then one OutputPort per directed link on its tail node, wired to the
+// head node's ingress — or, for links into hosts, to the host's egress
+// sink.  Route tables from fabric::RouteTable replace hand-written
+// route() calls: every flow is pinned to its ECMP path at build time.
+//
+// End-to-end tracking: sources stamp packets at ingress (Packet::created);
+// the egress sink records per-flow delivery and delay into a shared
+// StatsCollector / DelayRecorder, exports an `fabric.e2e_delay_us`
+// histogram through obs, and — for FIFO schemes — audits every delivered
+// packet against the planner's composed delay bound
+// (Invariant::kDelayBound).  Per-port drops feed the same collector, so
+// a flow's loss is visible no matter which hop dropped it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/planner.h"
+#include "fabric/routing.h"
+#include "fabric/topology.h"
+#include "net/node.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "stats/collector.h"
+#include "stats/delay.h"
+
+namespace bufq::fabric {
+
+enum class FabricScheduler {
+  kFifo,  ///< the paper's scheme: FIFO + buffer management
+  kWfq,   ///< per-flow WFQ, weights = declared token rates
+};
+
+enum class FabricManager {
+  kTailDrop,          ///< shared tail drop (no management)
+  kThreshold,         ///< planner thresholds, fixed partition (Section 3.2)
+  kSharing,           ///< planner thresholds + holes/headroom (Section 3.3)
+  kDynamicThreshold,  ///< Choudhury-Hahne DT
+};
+
+/// The scheduler/manager pair every hop of the fabric runs.
+struct FabricScheme {
+  FabricScheduler scheduler{FabricScheduler::kFifo};
+  FabricManager manager{FabricManager::kThreshold};
+  /// Headroom H for kSharing.
+  ByteSize headroom{ByteSize::kilobytes(100.0)};
+  /// Alpha for kDynamicThreshold.
+  double dt_alpha{1.0};
+};
+
+class Fabric {
+ public:
+  /// Builds nodes, ports, sinks and routes.  `plan` must come from
+  /// plan_fabric over the same topology/routes/bindings (its paths ARE the
+  /// installed routes).  Construct any ScopedMetrics/ScopedChecker before
+  /// the fabric so metric handles resolve.  All references must outlive
+  /// the fabric.
+  Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
+         const ProvisionPlan& plan, const std::vector<FlowBinding>& bindings,
+         const FabricScheme& scheme);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Where a source for `flow` injects: an offered-traffic tap in front of
+  /// the flow's declared src node.
+  [[nodiscard]] PacketSink& ingress(FlowId flow);
+
+  /// Delay/loss accounting starts at `t` (warmup exclusion) — delivery
+  /// and drop *counters* always run; only DelayRecorder entries are gated.
+  void set_measure_from(Time t) { measure_from_ = t; }
+
+  [[nodiscard]] StatsCollector& stats() { return stats_; }
+  [[nodiscard]] const StatsCollector& stats() const { return stats_; }
+  [[nodiscard]] DelayRecorder& delays() { return delays_; }
+  [[nodiscard]] const DelayRecorder& delays() const { return delays_; }
+
+  [[nodiscard]] Node& node(NodeId id);
+  /// The port serving directed link `link` and the node index it lives on.
+  [[nodiscard]] OutputPort& port_for_link(LinkId link);
+  /// Planner delay bound for `flow` (seconds); 0 for unrouted flows.
+  [[nodiscard]] double delay_bound_s(FlowId flow) const;
+
+ private:
+  /// Terminates traffic at one host: records delivery, delay and the
+  /// end-to-end bound audit.
+  class EgressSink final : public PacketSink {
+   public:
+    EgressSink(Fabric& fabric, NodeId self) : fabric_{fabric}, self_{self} {}
+    void accept(const Packet& packet) override;
+
+   private:
+    Fabric& fabric_;
+    NodeId self_;
+  };
+
+  Simulator& sim_;
+  const Topology& topo_;
+  FabricScheme scheme_;
+  StatsCollector stats_;
+  DelayRecorder delays_;
+  Time measure_from_{Time::zero()};
+  /// Per-flow: declared egress node and planner delay bound (ns, 0 = no
+  /// bound / unrouted).
+  std::vector<NodeId> flow_dst_;
+  std::vector<Time> flow_bound_;
+  std::vector<NodeId> flow_src_;
+  std::vector<std::unique_ptr<Node>> nodes_;              ///< by NodeId
+  std::vector<std::unique_ptr<EgressSink>> sinks_;        ///< by NodeId, hosts only
+  std::vector<std::unique_ptr<OfferedTrafficTap>> taps_;  ///< by NodeId, src nodes only
+  /// LinkId -> (node, port index) of the OutputPort serving it.
+  std::vector<std::pair<NodeId, std::size_t>> link_port_;
+  bool enforce_delay_bound_{false};
+  obs::HistogramHandle e2e_delay_metric_{obs::HistogramHandle::lookup("fabric.e2e_delay_us")};
+  obs::CounterHandle misrouted_metric_{obs::CounterHandle::lookup("fabric.misrouted")};
+};
+
+}  // namespace bufq::fabric

@@ -1,0 +1,104 @@
+#include "fabric/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace bufq::fabric {
+namespace {
+
+/// splitmix64 finalizer (Steele, Lea & Flood; public domain reference
+/// algorithm) — the same avalanche the Rng seeds through, reimplemented
+/// here so routing does not depend on util/rng internals.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RouteTable RouteTable::shortest_paths(const Topology& topo) {
+  RouteTable table;
+  const std::size_t n = topo.node_count();
+  table.nodes_ = n;
+  table.next_.assign(n * n, {});
+  table.dist_.assign(n * n, -1);
+
+  // Reverse adjacency: for BFS from each destination we need the links
+  // *into* a node.
+  std::vector<std::vector<LinkId>> in(n);
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const auto id = static_cast<LinkId>(l);
+    in[static_cast<std::size_t>(topo.link(id).to)].push_back(id);
+  }
+
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    int* dist = &table.dist_[dst * n];
+    dist[dst] = 0;
+    std::deque<NodeId> frontier{static_cast<NodeId>(dst)};
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      for (const LinkId l : in[static_cast<std::size_t>(v)]) {
+        const NodeId u = topo.link(l).from;
+        if (dist[u] == -1) {
+          dist[u] = dist[v] + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    // Next hops of u toward dst: out-links whose head is one hop closer.
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == dst || dist[u] == -1) continue;
+      auto& hops = table.next_[dst * n + u];
+      for (const LinkId l : topo.out_links(static_cast<NodeId>(u))) {
+        const NodeId v = topo.link(l).to;
+        if (dist[v] != -1 && dist[v] == dist[u] - 1) hops.push_back(l);
+      }
+      std::sort(hops.begin(), hops.end());
+    }
+  }
+  return table;
+}
+
+const std::vector<LinkId>& RouteTable::next_hops(NodeId node, NodeId dst) const {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_);
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < nodes_);
+  return next_[static_cast<std::size_t>(dst) * nodes_ + static_cast<std::size_t>(node)];
+}
+
+int RouteTable::distance(NodeId node, NodeId dst) const {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_);
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < nodes_);
+  return dist_[static_cast<std::size_t>(dst) * nodes_ + static_cast<std::size_t>(node)];
+}
+
+LinkId ecmp_pick(const std::vector<LinkId>& choices, FlowId flow, NodeId node,
+                 std::uint64_t salt) {
+  assert(!choices.empty());
+  if (choices.size() == 1) return choices.front();
+  const std::uint64_t h =
+      mix64(salt ^ mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow))) ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32));
+  return choices[h % choices.size()];
+}
+
+std::vector<LinkId> flow_path(const Topology& topo, const RouteTable& routes, FlowId flow,
+                              NodeId src, NodeId dst, std::uint64_t salt) {
+  std::vector<LinkId> path;
+  NodeId at = src;
+  // Shortest paths shrink the distance every hop, so node_count() bounds
+  // the walk even if the table were inconsistent.
+  for (std::size_t guard = 0; at != dst && guard < topo.node_count(); ++guard) {
+    const auto& hops = routes.next_hops(at, dst);
+    if (hops.empty()) return {};
+    const LinkId l = ecmp_pick(hops, flow, at, salt);
+    path.push_back(l);
+    at = topo.link(l).to;
+  }
+  return at == dst ? path : std::vector<LinkId>{};
+}
+
+}  // namespace bufq::fabric

@@ -1,0 +1,256 @@
+#include "fabric/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "check/invariants.h"
+#include "traffic/sources.h"
+#include "util/rng.h"
+
+namespace bufq::fabric {
+
+const char* to_string(FabricTopologyKind kind) {
+  switch (kind) {
+    case FabricTopologyKind::kParkingLot:
+      return "parking_lot";
+    case FabricTopologyKind::kLeafSpine:
+      return "leaf_spine";
+    case FabricTopologyKind::kFatTree:
+      return "fat_tree";
+    case FabricTopologyKind::kWanRing:
+      return "wan_ring";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Host-pair cross traffic for the multi-path shapes: host i sends to the
+/// host "half the population away", a fixed derangement that forces most
+/// pairs through the fabric tier.
+void bind_host_pairs(const std::vector<NodeId>& hosts, FabricScenario& sc) {
+  const std::size_t n = hosts.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t peer = (i + n / 2) % n;
+    if (peer == i) peer = (i + 1) % n;
+    const auto flow = static_cast<FlowId>(sc.bindings.size());
+    sc.bindings.push_back(FlowBinding{.flow = flow,
+                                      .src = hosts[i],
+                                      .dst = hosts[peer],
+                                      .spec = FlowSpec{Rate::zero(), ByteSize::zero()},
+                                      .guaranteed = false});
+    sc.cross.push_back(flow);
+  }
+}
+
+}  // namespace
+
+FabricScenario build_fabric_scenario(const FabricConfig& config) {
+  const LinkParams lp{config.link_rate, config.propagation, config.buffer};
+  FabricScenario sc;
+  const FlowSpec premium_spec{config.premium_rate,
+                              ByteSize::bytes(2 * config.packet_bytes)};
+
+  switch (config.topology) {
+    case FabricTopologyKind::kParkingLot: {
+      assert(config.size >= 2);
+      ParkingLotFabric f = make_parking_lot(config.size, lp, lp);
+      sc.bindings.push_back(FlowBinding{
+          .flow = 0, .src = f.routers.front(), .dst = f.sink, .spec = premium_spec,
+          .guaranteed = true});
+      // One greedy cross flow per managed link of the premium path: flow j
+      // enters at r_j, leaves one hop later (the last one at the sink).
+      for (std::size_t j = 0; j + 1 < f.routers.size(); ++j) {
+        const auto flow = static_cast<FlowId>(sc.bindings.size());
+        sc.bindings.push_back(FlowBinding{.flow = flow,
+                                          .src = f.routers[j],
+                                          .dst = f.exit_hosts[j],
+                                          .spec = FlowSpec{Rate::zero(), ByteSize::zero()},
+                                          .guaranteed = false});
+        sc.cross.push_back(flow);
+      }
+      const auto last = static_cast<FlowId>(sc.bindings.size());
+      sc.bindings.push_back(FlowBinding{.flow = last,
+                                        .src = f.routers.back(),
+                                        .dst = f.sink,
+                                        .spec = FlowSpec{Rate::zero(), ByteSize::zero()},
+                                        .guaranteed = false});
+      sc.cross.push_back(last);
+      sc.topo = std::move(f.topo);
+      break;
+    }
+    case FabricTopologyKind::kLeafSpine: {
+      assert(config.size >= 2);
+      LeafSpineFabric f = make_leaf_spine(config.size, config.size, 2, lp, lp);
+      sc.bindings.push_back(FlowBinding{.flow = 0,
+                                        .src = f.hosts.front(),
+                                        .dst = f.hosts.back(),
+                                        .spec = premium_spec,
+                                        .guaranteed = true});
+      bind_host_pairs(f.hosts, sc);
+      sc.topo = std::move(f.topo);
+      break;
+    }
+    case FabricTopologyKind::kFatTree: {
+      assert(config.size >= 2 && config.size % 2 == 0);
+      FatTreeFabric f = make_fat_tree(config.size, lp, lp);
+      sc.bindings.push_back(FlowBinding{.flow = 0,
+                                        .src = f.hosts.front(),
+                                        .dst = f.hosts.back(),
+                                        .spec = premium_spec,
+                                        .guaranteed = true});
+      bind_host_pairs(f.hosts, sc);
+      sc.topo = std::move(f.topo);
+      break;
+    }
+    case FabricTopologyKind::kWanRing: {
+      assert(config.size >= 3);
+      WanRingFabric f = make_wan_ring(config.size, lp, lp);
+      sc.bindings.push_back(
+          FlowBinding{.flow = 0,
+                      .src = f.hosts.front(),
+                      .dst = f.hosts[static_cast<std::size_t>(config.size) / 2],
+                      .spec = premium_spec,
+                      .guaranteed = true});
+      bind_host_pairs(f.hosts, sc);
+      sc.topo = std::move(f.topo);
+      break;
+    }
+  }
+
+  sc.routes = RouteTable::shortest_paths(sc.topo);
+  sc.plan = plan_fabric(sc.topo, sc.routes, sc.bindings, ByteSize::bytes(config.packet_bytes),
+                        config.seed);
+  return sc;
+}
+
+ExperimentResult run_fabric_experiment(const FabricConfig& config) {
+  assert(config.duration > Time::zero());
+
+  // Same confinement discipline as expt::run_experiment: a run-private
+  // checker and registry, constructed before any instrumented component.
+  const check::ScopedChecker run_checker;
+  obs::ScopedMetrics run_metrics;
+
+  FabricScenario sc = build_fabric_scenario(config);
+  Simulator sim;
+  Fabric fabric{sim, sc.topo, sc.routes, sc.plan, sc.bindings, config.scheme};
+  fabric.set_measure_from(config.warmup);
+
+  // Export the planner's composed bound so sweep extractors (and the
+  // bench JSON) can compare measured p100 against it without re-planning.
+  run_metrics.registry()
+      .gauge("fabric.premium_delay_bound_us")
+      .set(std::llround(sc.plan.flows[0].delay_bound_s * 1e6));
+  run_metrics.registry()
+      .gauge("fabric.plan_feasible")
+      .set(sc.plan.feasible ? 1 : 0);
+
+  Rng master{config.seed};
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(sc.bindings.size());
+  sources.push_back(std::make_unique<CbrSource>(sim, fabric.ingress(sc.premium), sc.premium,
+                                                config.premium_rate, config.packet_bytes));
+  for (const FlowId flow : sc.cross) {
+    if (config.topology == FabricTopologyKind::kParkingLot) {
+      // The chain analogue of Example 1's greedy flow: full-load arrivals
+      // at every hop, so the premium reservation is what keeps it lossless.
+      sources.push_back(std::make_unique<GreedySource>(sim, fabric.ingress(flow), flow,
+                                                       config.link_rate * config.load,
+                                                       config.packet_bytes));
+    } else {
+      MarkovOnOffSource::Params p;
+      p.flow = flow;
+      p.peak_rate = config.link_rate;
+      // 50 KB mean bursts at line rate; duty cycle = load / 2 so each pair
+      // averages load * link_rate / 2.
+      const double mean_on_s = 50e3 * 8.0 / config.link_rate.bps();
+      const double duty = std::clamp(config.load / 2.0, 0.01, 0.95);
+      p.mean_on = Time::from_seconds(mean_on_s);
+      p.mean_off = Time::from_seconds(mean_on_s * (1.0 - duty) / duty);
+      p.packet_bytes = config.packet_bytes;
+      sources.push_back(std::make_unique<MarkovOnOffSource>(
+          sim, fabric.ingress(flow), p, master.fork(static_cast<std::uint64_t>(flow))));
+    }
+  }
+  for (const auto& source : sources) source->start();
+
+  std::vector<FlowCounters> at_warmup;
+  sim.at(config.warmup, [&] { at_warmup = fabric.stats().snapshot(); });
+
+  const Time horizon = config.warmup + config.duration;
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count();
+  run_metrics.registry().counter("sim.wall_ns").add(static_cast<std::uint64_t>(wall_ns));
+
+  const auto at_end = fabric.stats().snapshot();
+  ExperimentResult result;
+  result.interval = config.duration;
+  result.checks_run = run_checker.checker().checks_run();
+  result.check_violations = run_checker.checker().violation_count();
+  result.metrics = run_metrics.registry().snapshot();
+  result.per_flow.reserve(at_end.size());
+  for (std::size_t f = 0; f < at_end.size(); ++f) {
+    result.per_flow.push_back(at_end[f] - (f < at_warmup.size() ? at_warmup[f] : FlowCounters{}));
+  }
+  if (config.record_delays) {
+    const DelayRecorder& delays = fabric.delays();
+    result.delays.reserve(sc.bindings.size());
+    for (std::size_t f = 0; f < sc.bindings.size(); ++f) {
+      const auto flow = static_cast<FlowId>(f);
+      result.delays.push_back(DelaySummary{
+          .mean_s = delays.mean_delay(flow).to_seconds(),
+          .max_s = delays.max_delay(flow).to_seconds(),
+          .p50_s = delays.quantile(flow, 0.50).to_seconds(),
+          .p99_s = delays.quantile(flow, 0.99).to_seconds(),
+          .packets = delays.count(flow),
+      });
+    }
+  }
+  return result;
+}
+
+std::map<std::string, double> fabric_metrics(const ExperimentResult& result) {
+  std::map<std::string, double> m;
+  m["premium_mbps"] = result.flow_throughput_mbps(0);
+  m["premium_loss"] =
+      result.per_flow.empty() ? 0.0 : result.per_flow.front().loss_ratio();
+  m["premium_p100_delay_ms"] =
+      result.delays.empty() ? 0.0 : result.delays.front().max_s * 1e3;
+  double bound_us = 0.0;
+  if (const auto it = result.metrics.gauges.find("fabric.premium_delay_bound_us");
+      it != result.metrics.gauges.end()) {
+    bound_us = static_cast<double>(it->second.last);
+  }
+  m["premium_delay_bound_ms"] = bound_us * 1e-3;
+  m["agg_mbps"] = result.aggregate_throughput_mbps();
+  std::vector<FlowId> cross;
+  for (std::size_t f = 1; f < result.per_flow.size(); ++f) {
+    cross.push_back(static_cast<FlowId>(f));
+  }
+  m["cross_loss"] = cross.empty() ? 0.0 : result.loss_ratio(cross);
+  return m;
+}
+
+SweepCase fabric_sweep_case(std::string label,
+                            std::vector<std::pair<std::string, std::string>> params,
+                            const FabricConfig& config) {
+  SweepCase c;
+  c.label = std::move(label);
+  c.params = std::move(params);
+  c.runner = [config](std::uint64_t seed) {
+    FabricConfig run = config;
+    run.seed = seed;
+    return run_fabric_experiment(run);
+  };
+  return c;
+}
+
+}  // namespace bufq::fabric

@@ -1,0 +1,194 @@
+#include "fabric/topology.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bufq::fabric {
+
+NodeId Topology::add_node(std::string name, bool host) {
+  nodes_.push_back(TopoNode{std::move(name), host});
+  out_.emplace_back();
+  if (host) ++host_count_;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Topology::add_switch(std::string name) { return add_node(std::move(name), false); }
+
+NodeId Topology::add_host(std::string name) { return add_node(std::move(name), true); }
+
+LinkId Topology::add_link(NodeId from, NodeId to, const LinkParams& params) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < nodes_.size());
+  assert(to >= 0 && static_cast<std::size_t>(to) < nodes_.size());
+  assert(from != to);
+  assert(params.rate.bps() > 0.0);
+  assert(params.buffer.count() > 0);
+  assert(params.propagation >= Time::zero());
+  links_.push_back(TopoLink{from, to, params});
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  return id;
+}
+
+void Topology::add_duplex(NodeId a, NodeId b, const LinkParams& params) {
+  add_link(a, b, params);
+  add_link(b, a, params);
+}
+
+const TopoNode& Topology::node(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const TopoLink& Topology::link(LinkId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < links_.size());
+  return links_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < out_.size());
+  return out_[static_cast<std::size_t>(id)];
+}
+
+ParkingLotFabric make_parking_lot(int hops, const LinkParams& trunk,
+                                  const LinkParams& host_link) {
+  assert(hops >= 1);
+  ParkingLotFabric f;
+  f.routers.reserve(static_cast<std::size_t>(hops));
+  for (int h = 0; h < hops; ++h) {
+    std::string name = "r";
+    name += std::to_string(h + 1);
+    f.routers.push_back(f.topo.add_switch(name));
+  }
+  for (int h = 0; h + 1 < hops; ++h) {
+    f.topo.add_link(f.routers[static_cast<std::size_t>(h)],
+                    f.routers[static_cast<std::size_t>(h) + 1], trunk);
+  }
+  // The sink link is the path's final managed hop and is contended by the
+  // last cross flow, so it uses trunk parameters like the other hops.
+  f.sink = f.topo.add_host("sink");
+  f.topo.add_link(f.routers.back(), f.sink, trunk);
+  // Exit hosts on r2..rH let per-hop cross traffic leave after one trunk
+  // hop without contending the rest of the path.
+  f.exit_hosts.reserve(static_cast<std::size_t>(hops) - 1);
+  for (int h = 1; h < hops; ++h) {
+    std::string name = "x";
+    name += std::to_string(h + 1);
+    const NodeId host = f.topo.add_host(name);
+    f.topo.add_link(f.routers[static_cast<std::size_t>(h)], host, host_link);
+    f.exit_hosts.push_back(host);
+  }
+  return f;
+}
+
+LeafSpineFabric make_leaf_spine(int leaves, int spines, int hosts_per_leaf,
+                                const LinkParams& fabric_link, const LinkParams& host_link) {
+  assert(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+  LeafSpineFabric f;
+  for (int l = 0; l < leaves; ++l) {
+    std::string name = "leaf";
+    name += std::to_string(l);
+    f.leaves.push_back(f.topo.add_switch(name));
+  }
+  for (int s = 0; s < spines; ++s) {
+    std::string name = "spine";
+    name += std::to_string(s);
+    f.spines.push_back(f.topo.add_switch(name));
+  }
+  for (const NodeId leaf : f.leaves) {
+    for (const NodeId spine : f.spines) f.topo.add_duplex(leaf, spine, fabric_link);
+  }
+  for (int l = 0; l < leaves; ++l) {
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      std::string name = "h";
+      name += std::to_string(l);
+      name += "_";
+      name += std::to_string(h);
+      const NodeId host = f.topo.add_host(name);
+      f.topo.add_duplex(f.leaves[static_cast<std::size_t>(l)], host, host_link);
+      f.hosts.push_back(host);
+    }
+  }
+  return f;
+}
+
+FatTreeFabric make_fat_tree(int k, const LinkParams& fabric_link,
+                            const LinkParams& host_link) {
+  assert(k >= 2 && k % 2 == 0);
+  FatTreeFabric f;
+  f.k = k;
+  const int half = k / 2;
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      std::string name = "e";
+      name += std::to_string(p);
+      name += "_";
+      name += std::to_string(e);
+      f.edges.push_back(f.topo.add_switch(name));
+    }
+    for (int a = 0; a < half; ++a) {
+      std::string name = "a";
+      name += std::to_string(p);
+      name += "_";
+      name += std::to_string(a);
+      f.aggs.push_back(f.topo.add_switch(name));
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    std::string name = "c";
+    name += std::to_string(c);
+    f.cores.push_back(f.topo.add_switch(name));
+  }
+  for (int p = 0; p < k; ++p) {
+    // Full edge <-> aggregation mesh within the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        f.topo.add_duplex(f.edges[static_cast<std::size_t>(p * half + e)],
+                          f.aggs[static_cast<std::size_t>(p * half + a)], fabric_link);
+      }
+    }
+    // Aggregation switch a of every pod reaches cores [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        f.topo.add_duplex(f.aggs[static_cast<std::size_t>(p * half + a)],
+                          f.cores[static_cast<std::size_t>(a * half + c)], fabric_link);
+      }
+    }
+  }
+  for (std::size_t e = 0; e < f.edges.size(); ++e) {
+    for (int h = 0; h < half; ++h) {
+      std::string name = "h";
+      name += std::to_string(e);
+      name += "_";
+      name += std::to_string(h);
+      const NodeId host = f.topo.add_host(name);
+      f.topo.add_duplex(f.edges[e], host, host_link);
+      f.hosts.push_back(host);
+    }
+  }
+  return f;
+}
+
+WanRingFabric make_wan_ring(int routers, const LinkParams& ring_link,
+                            const LinkParams& host_link) {
+  assert(routers >= 3);
+  WanRingFabric f;
+  for (int r = 0; r < routers; ++r) {
+    std::string name = "w";
+    name += std::to_string(r);
+    f.routers.push_back(f.topo.add_switch(name));
+  }
+  for (int r = 0; r < routers; ++r) {
+    f.topo.add_duplex(f.routers[static_cast<std::size_t>(r)],
+                      f.routers[static_cast<std::size_t>((r + 1) % routers)], ring_link);
+  }
+  for (int r = 0; r < routers; ++r) {
+    std::string name = "hw";
+    name += std::to_string(r);
+    const NodeId host = f.topo.add_host(name);
+    f.topo.add_duplex(f.routers[static_cast<std::size_t>(r)], host, host_link);
+    f.hosts.push_back(host);
+  }
+  return f;
+}
+
+}  // namespace bufq::fabric

@@ -1,0 +1,136 @@
+// Declarative multi-hop topologies over net/node.
+//
+// A Topology is a pure description: named nodes (switches and hosts) and
+// directed links, each link carrying the physical parameters one OutputPort
+// needs (rate, propagation delay, buffer).  Nothing here touches the
+// simulator — fabric::Fabric (fabric.h) instantiates a description, and
+// fabric::RouteTable / fabric::plan_fabric compute routes and per-hop
+// provisioning from it.
+//
+// Generators build the standard shapes the end-to-end experiments sweep:
+// parking-lot chains (the paper's backbone-path setting), leaf-spine and
+// k-ary fat-tree datacenter fabrics, and WAN rings.  Every generator
+// returns the topology plus the node ids an experiment needs to attach
+// sources and pick flow endpoints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace bufq::fabric {
+
+/// Dense node index within one Topology.
+using NodeId = std::int32_t;
+/// Dense directed-link index within one Topology.
+using LinkId = std::int32_t;
+
+/// Physical parameters of one directed link, i.e. of the OutputPort that
+/// will serve it: transmission rate, propagation delay of the wire, and
+/// the buffer in front of it.
+struct LinkParams {
+  Rate rate{Rate::megabits_per_second(48.0)};
+  Time propagation{Time::milliseconds(1)};
+  ByteSize buffer{ByteSize::kilobytes(500.0)};
+};
+
+struct TopoNode {
+  std::string name;
+  /// Hosts terminate traffic (links into them feed an egress sink, links
+  /// out of them model the NIC uplink queue); switches forward.
+  bool host{false};
+};
+
+struct TopoLink {
+  NodeId from{-1};
+  NodeId to{-1};
+  LinkParams params;
+};
+
+class Topology {
+ public:
+  NodeId add_switch(std::string name);
+  NodeId add_host(std::string name);
+  /// Adds one directed link and returns its id.
+  LinkId add_link(NodeId from, NodeId to, const LinkParams& params);
+  /// Adds both directions with the same parameters.
+  void add_duplex(NodeId a, NodeId b, const LinkParams& params);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t switch_count() const { return node_count() - host_count_; }
+  [[nodiscard]] std::size_t host_count() const { return host_count_; }
+
+  [[nodiscard]] const TopoNode& node(NodeId id) const;
+  [[nodiscard]] const TopoLink& link(LinkId id) const;
+  /// Out-links of `id`, in insertion order (== port order in the fabric).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const;
+
+ private:
+  NodeId add_node(std::string name, bool host);
+
+  std::vector<TopoNode> nodes_;
+  std::vector<TopoLink> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::size_t host_count_{0};
+};
+
+/// Parking-lot chain: routers r1 -> r2 -> ... -> rH, a sink host after rH,
+/// and one exit host on each of r2..rH.  A flow entering at r1 and leaving
+/// at the sink crosses exactly `hops` managed links (H-1 trunk links plus
+/// the final sink link); per-hop cross traffic enters at r_i and exits one
+/// hop later at r_{i+1}'s exit host (the last one at the sink itself), so
+/// every trunk link is contended by exactly one local cross flow.
+struct ParkingLotFabric {
+  Topology topo;
+  std::vector<NodeId> routers;     ///< r1..rH in path order
+  std::vector<NodeId> exit_hosts;  ///< exit host on r_{i+1}, i = 0..H-2
+  NodeId sink{-1};                 ///< terminal host after rH
+};
+[[nodiscard]] ParkingLotFabric make_parking_lot(int hops, const LinkParams& trunk,
+                                                const LinkParams& host_link);
+
+/// Two-tier leaf-spine: every leaf connects to every spine (duplex), each
+/// leaf serves `hosts_per_leaf` hosts (duplex host links).  Host-to-host
+/// paths across leaves have `spines` equal-cost choices at the leaf uplink
+/// — the canonical ECMP fan-out.
+struct LeafSpineFabric {
+  Topology topo;
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+  std::vector<NodeId> hosts;  ///< leaf-major order: hosts of leaf 0 first
+};
+[[nodiscard]] LeafSpineFabric make_leaf_spine(int leaves, int spines, int hosts_per_leaf,
+                                              const LinkParams& fabric_link,
+                                              const LinkParams& host_link);
+
+/// k-ary fat tree (k even): k pods of k/2 edge + k/2 aggregation switches,
+/// (k/2)^2 cores, k/2 hosts per edge switch — k^3/4 hosts total.  Edge and
+/// aggregation switches mesh within a pod; aggregation switch j of every
+/// pod connects to cores [j*k/2, (j+1)*k/2).  Inter-pod paths have k/2
+/// ECMP choices at both the edge and the aggregation tier.
+struct FatTreeFabric {
+  Topology topo;
+  int k{0};
+  std::vector<NodeId> edges;  ///< pod-major
+  std::vector<NodeId> aggs;   ///< pod-major
+  std::vector<NodeId> cores;
+  std::vector<NodeId> hosts;  ///< edge-major
+};
+[[nodiscard]] FatTreeFabric make_fat_tree(int k, const LinkParams& fabric_link,
+                                          const LinkParams& host_link);
+
+/// WAN ring: `routers` switches in a duplex cycle, one host per router.
+/// Shortest paths run either way around; with an even node count the
+/// antipodal pair is equal-cost in both directions (an ECMP tie).
+struct WanRingFabric {
+  Topology topo;
+  std::vector<NodeId> routers;
+  std::vector<NodeId> hosts;  ///< hosts[i] hangs off routers[i]
+};
+[[nodiscard]] WanRingFabric make_wan_ring(int routers, const LinkParams& ring_link,
+                                          const LinkParams& host_link);
+
+}  // namespace bufq::fabric

@@ -18,9 +18,12 @@ OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
   assert(manager_ != nullptr);
   assert(discipline_ != nullptr);
   assert(propagation_ >= Time::zero());
-  discipline_->set_drop_handler([this](const Packet& p, Time) {
+  discipline_->set_drop_handler([this](const Packet& p, Time t) {
     dropped_bytes_ += p.size_bytes;
     ++dropped_packets_;
+    drops_metric_.add();
+    drop_bytes_metric_.add(static_cast<std::uint64_t>(p.size_bytes));
+    if (drop_tap_) drop_tap_(p, t);
   });
   link_ = std::make_unique<Link>(sim_, *discipline_, rate);
   if (downstream_ != nullptr) {
@@ -31,9 +34,11 @@ OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
         // Constant delay => FIFO exit order, so the wire is a deque and
         // the arrival event captures only `this`.
         in_flight_.push_back(p);
+        wire_metric_.add(1);
         const auto arrive = [this] {
           const Packet head = in_flight_.front();
           in_flight_.pop_front();
+          wire_metric_.add(-1);
           downstream_->accept(head);
         };
         static_assert(InlineAction::stores_inline<decltype(arrive)>,
@@ -65,6 +70,7 @@ void Node::accept(const Packet& packet) {
   const auto f = static_cast<std::size_t>(packet.flow);
   if (packet.flow < 0 || f >= routes_.size() || routes_[f] < 0) {
     ++unrouted_packets_;
+    unrouted_metric_.add();
     return;
   }
   ports_[static_cast<std::size_t>(routes_[f])]->ingress().accept(packet);

@@ -17,12 +17,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/buffer_manager.h"
 #include "core/flow_spec.h"
+#include "obs/metrics.h"
 #include "sim/link.h"
 #include "sim/queue_discipline.h"
 #include "sim/simulator.h"
@@ -53,6 +55,13 @@ class OutputPort {
   [[nodiscard]] const Link& link() const { return *link_; }
   [[nodiscard]] const BufferManager& manager() const { return *manager_; }
 
+  /// Observer invoked (after the port's own counting) for every packet the
+  /// discipline refused — the fabric layer hangs end-to-end per-flow loss
+  /// accounting here.  Replaces any previous tap; null clears it.
+  void set_drop_tap(std::function<void(const Packet&, Time)> tap) {
+    drop_tap_ = std::move(tap);
+  }
+
  private:
   Simulator& sim_;
   Time propagation_;
@@ -65,8 +74,14 @@ class OutputPort {
   /// only needs to capture `this` (keeping it inside the InlineAction
   /// buffer) and pop the front.
   std::deque<Packet> in_flight_;
+  std::function<void(const Packet&, Time)> drop_tap_;
   std::int64_t dropped_bytes_{0};
   std::uint64_t dropped_packets_{0};
+  obs::CounterHandle drops_metric_{obs::CounterHandle::lookup("net.drops")};
+  obs::CounterHandle drop_bytes_metric_{obs::CounterHandle::lookup("net.drop_bytes")};
+  /// Packets currently on propagation wires; the high-water mark sizes the
+  /// in-flight population of a topology.
+  obs::GaugeHandle wire_metric_{obs::GaugeHandle::lookup("net.wire_packets")};
 };
 
 /// A router: forwards packets to output ports by flow id.
@@ -93,6 +108,7 @@ class Node final : public PacketSink {
   std::vector<std::unique_ptr<OutputPort>> ports_;
   std::vector<std::int64_t> routes_;  // flow -> port index, -1 = unrouted
   std::uint64_t unrouted_packets_{0};
+  obs::CounterHandle unrouted_metric_{obs::CounterHandle::lookup("net.unrouted_packets")};
 };
 
 /// Envelope of a (sigma, rho)-conformant flow after it traverses a FIFO

@@ -268,6 +268,9 @@ class GaugeHandle {
   void set(std::int64_t v) const {
     if (gauge_ != nullptr) gauge_->set(v);
   }
+  void add(std::int64_t delta) const {
+    if (gauge_ != nullptr) gauge_->add(delta);
+  }
   [[nodiscard]] bool active() const { return gauge_ != nullptr; }
 
  private:

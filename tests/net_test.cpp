@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/threshold.h"
+#include "obs/metrics.h"
 #include "sched/fifo.h"
 #include "sim/simulator.h"
 #include "traffic/sources.h"
@@ -111,6 +112,86 @@ TEST(NodeTest, TwoHopChainDeliversEndToEnd) {
   sim.run_until(Time::seconds(5));
   // ~5s * 1000 pkt/s, minus in-flight.
   EXPECT_NEAR(static_cast<double>(sink.packets.size()), 5'000.0, 10.0);
+}
+
+/// The propagation wire is a constant-delay FIFO: packets of several
+/// interleaved flows must reach the downstream sink in exactly the order
+/// they finished transmission, with per-flow sequence numbers monotone.
+TEST(NodeTest, FifoOrderingAcrossPropagationWire) {
+  Simulator sim;
+  RecordingSink sink;
+  Node node{"r1"};
+  node.add_port(make_port(sim, kLink, Time::milliseconds(5), &sink));
+  node.route(0, 0);
+  node.route(1, 0);
+
+  CbrSource a{sim, node, 0, Rate::megabits_per_second(8.0), kPkt};
+  CbrSource b{sim, node, 1, Rate::megabits_per_second(6.0), kPkt};
+  a.start();
+  b.start();
+  sim.run_until(Time::seconds(1));
+
+  ASSERT_GT(sink.packets.size(), 100u);
+  std::uint64_t next_seq[2] = {0, 0};
+  for (const Packet& p : sink.packets) {
+    ASSERT_GE(p.flow, 0);
+    ASSERT_LT(p.flow, 2);
+    EXPECT_EQ(p.seq, next_seq[static_cast<std::size_t>(p.flow)])
+        << "flow " << p.flow << " reordered";
+    ++next_seq[static_cast<std::size_t>(p.flow)];
+  }
+}
+
+/// The drop tap fires once per refused packet, after the port's own
+/// counters update, with the refusal timestamp.
+TEST(NodeTest, DropTapObservesEveryRefusal) {
+  Simulator sim;
+  RecordingSink sink;
+  Node node{"r1"};
+  node.add_port(make_port(sim, kLink, Time::zero(), &sink, 4, ByteSize::bytes(1'000)));
+  node.route(0, 0);
+
+  std::uint64_t taps = 0;
+  std::int64_t tap_bytes = 0;
+  node.port(0).set_drop_tap([&](const Packet& p, Time) {
+    ++taps;
+    tap_bytes += p.size_bytes;
+  });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    node.accept(Packet{.flow = 0, .size_bytes = kPkt, .seq = i, .created = Time::zero()});
+  }
+  sim.run();
+  EXPECT_EQ(taps, node.port(0).dropped_packets());
+  EXPECT_EQ(tap_bytes, node.port(0).dropped_bytes());
+  EXPECT_EQ(taps, 7u);
+}
+
+/// Ports and nodes export their counters through the obs registry: drops,
+/// drop bytes, unrouted packets, and the wire-occupancy gauge (which must
+/// return to zero once the simulation drains).
+TEST(NodeTest, MetricsExportedThroughRegistry) {
+  // The handles resolve against the innermost registry at construction, so
+  // the scope must exist before the node.
+  obs::ScopedMetrics scope;
+  Simulator sim;
+  RecordingSink sink;
+  Node node{"r1"};
+  node.add_port(make_port(sim, kLink, Time::milliseconds(1), &sink, 4,
+                          ByteSize::bytes(1'000)));
+  node.route(0, 0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    node.accept(Packet{.flow = 0, .size_bytes = kPkt, .seq = i, .created = Time::zero()});
+  }
+  node.accept(Packet{.flow = 9, .size_bytes = kPkt, .seq = 0, .created = Time::zero()});
+  sim.run();
+
+  const auto snap = scope.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("net.drops"), 7u);
+  EXPECT_EQ(snap.counters.at("net.drop_bytes"), static_cast<std::uint64_t>(7 * kPkt));
+  EXPECT_EQ(snap.counters.at("net.unrouted_packets"), 1u);
+  const auto wire = snap.gauges.at("net.wire_packets");
+  EXPECT_EQ(wire.last, 0);
+  EXPECT_GE(wire.max, 1);
 }
 
 TEST(OutputEnvelopeTest, BurstGrowsByRhoTimesDelayBound) {
