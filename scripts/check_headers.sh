@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Compiles every public header under src/ as a standalone translation unit,
-# so a header that silently leans on its includer's #includes fails here
-# instead of in the next refactor.  Run from anywhere; exits non-zero and
+# Compiles every public header under src/ and tools/ as a standalone
+# translation unit, so a header that silently leans on its includer's
+# #includes fails here instead of in the next refactor.  Headers are
+# auto-discovered — a new directory or tool is covered the moment it
+# lands, with no list to update.  Run from anywhere; exits non-zero and
 # lists the offending headers if any are not self-sufficient.
 #
 # Usage: scripts/check_headers.sh [compiler]   (default: c++)
@@ -20,15 +22,19 @@ trap 'rm -f "$shim" "$errlog"' EXIT
 while IFS= read -r header; do
   checked=$((checked + 1))
   # A shim TU, not the header itself, so `#pragma once in main file` does
-  # not fire.
-  printf '#include "%s"\n' "${header#"$repo_root"/src/}" > "$shim"
-  if ! "$cxx" $std -I "$repo_root/src" -Wall -Wextra -Wshadow -Wconversion -Werror \
+  # not fire.  Strip the include root (src/ headers are included as
+  # "sim/foo.h", tools/ headers as "bufq_lint/lint.h").
+  rel="${header#"$repo_root"/src/}"
+  rel="${rel#"$repo_root"/tools/}"
+  printf '#include "%s"\n' "$rel" > "$shim"
+  if ! "$cxx" $std -I "$repo_root/src" -I "$repo_root/tools" \
+       -Wall -Wextra -Wshadow -Wconversion -Werror \
        -fsyntax-only "$shim" 2>"$errlog"; then
     failed+=("$header")
     echo "FAIL: ${header#"$repo_root"/}"
     sed 's/^/    /' "$errlog"
   fi
-done < <(find "$repo_root/src" -name '*.h' | sort)
+done < <(find "$repo_root/src" "$repo_root/tools" -name '*.h' | sort)
 
 if [ "${#failed[@]}" -ne 0 ]; then
   echo "${#failed[@]} of $checked headers are not self-sufficient."

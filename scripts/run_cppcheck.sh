@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Advisory deep static analysis: cppcheck (if installed) over src/ and
+# tools/, writing reports under <out-dir> for the CI artifact.  This
+# script NEVER fails the build — it is the exploratory layer on top of
+# the enforced bufq-lint pass (scripts/check_lint.sh); its value is the
+# uploaded report, which PRs consult for pre-existing vs new noise.
+#
+# Usage: scripts/run_cppcheck.sh [build-dir] [out-dir]
+#        (defaults: build, static-analysis)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+out_dir="${2:-static-analysis}"
+case "$build_dir" in /*) ;; *) build_dir="$repo_root/$build_dir" ;; esac
+case "$out_dir" in /*) ;; *) out_dir="$repo_root/$out_dir" ;; esac
+mkdir -p "$out_dir"
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+  echo "run_cppcheck: cppcheck not installed; skipping (advisory layer)" \
+    | tee "$out_dir/cppcheck.txt"
+  exit 0
+fi
+
+cppcheck --version | tee "$out_dir/cppcheck.txt"
+# --project reuses the build's compilation database when available so
+# cppcheck sees the same TUs the build compiles; otherwise scan the
+# trees directly.  inline-suppr honors // cppcheck-suppress comments.
+common_flags=(
+  --enable=warning,performance,portability
+  --inline-suppr
+  --std=c++20
+  --suppress=missingIncludeSystem
+  "--template={file}:{line}: [{id}] {message}"
+)
+if [ -f "$build_dir/compile_commands.json" ]; then
+  cppcheck "${common_flags[@]}" --project="$build_dir/compile_commands.json" \
+    2>>"$out_dir/cppcheck.txt" || true
+else
+  cppcheck "${common_flags[@]}" -I "$repo_root/src" -I "$repo_root/tools" \
+    "$repo_root/src" "$repo_root/tools" 2>>"$out_dir/cppcheck.txt" || true
+fi
+
+count="$(grep -c '\[' "$out_dir/cppcheck.txt" || true)"
+echo "run_cppcheck: done, ~$count diagnostic line(s) in $out_dir/cppcheck.txt (advisory)"
+exit 0

@@ -41,7 +41,10 @@ void ChurnDriver::start() {
 
 void ChurnDriver::schedule_next_arrival() {
   const Time gap = rng_.exponential_time(Time::from_seconds(1.0 / config_.arrival_rate_hz));
-  sim_.in(gap, [this] { on_arrival(); });
+  const auto arrive = [this] { on_arrival(); };
+  static_assert(InlineAction::stores_inline<decltype(arrive)>,
+                "churn arrival event must not allocate");
+  sim_.in(gap, arrive);
 }
 
 const TrafficProfile& ChurnDriver::pick_profile(std::size_t& group) {
@@ -139,7 +142,10 @@ void ChurnDriver::on_departure(FlowHandle handle) {
   slot.source->stop();
   // The reservation and slot are held until every byte the flow pushed
   // into the shaper or the buffer has drained; poll for that.
-  sim_.in(config_.reap_interval, [this, handle] { try_reap(handle); });
+  const auto reap = [this, handle] { try_reap(handle); };
+  static_assert(InlineAction::stores_inline<decltype(reap)>,
+                "churn reap event must not allocate");
+  sim_.in(config_.reap_interval, reap);
 }
 
 void ChurnDriver::try_reap(FlowHandle handle) {
@@ -149,7 +155,10 @@ void ChurnDriver::try_reap(FlowHandle handle) {
       slot.shaper && (slot.shaper->queue_length() > 0 || slot.shaper->release_pending());
   const bool source_busy = sim_.now() < slot.source->quiescent_after();
   if (shaper_busy || source_busy || table_.occupancy(handle.slot) > 0) {
-    sim_.in(config_.reap_interval, [this, handle] { try_reap(handle); });
+    const auto retry = [this, handle] { try_reap(handle); };
+    static_assert(InlineAction::stores_inline<decltype(retry)>,
+                  "churn reap retry event must not allocate");
+    sim_.in(config_.reap_interval, retry);
     return;
   }
   advance_integrals();

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "check/invariants.h"
+#include "util/annotations.h"
 
 namespace bufq {
 
@@ -45,7 +46,7 @@ std::int64_t ThresholdManager::threshold(FlowId flow) const {
   return thresholds_[static_cast<std::size_t>(flow)];
 }
 
-bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
+BUFQ_HOT bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   if (total_occupancy() + bytes > capacity().count()) return false;
   if (occupancy(flow) + bytes > threshold(flow)) return false;
   account_admit(flow, bytes, now);
@@ -55,7 +56,7 @@ bool ThresholdManager::try_admit(FlowId flow, std::int64_t bytes, Time now) {
   return true;
 }
 
-void ThresholdManager::release(FlowId flow, std::int64_t bytes, Time now) {
+BUFQ_HOT void ThresholdManager::release(FlowId flow, std::int64_t bytes, Time now) {
   account_release(flow, bytes, now);
 }
 

@@ -9,6 +9,7 @@
 #include "admission/flow_table.h"
 #include "sched/fifo.h"
 #include "sched/wfq.h"
+#include "sim/inline_action.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
 
@@ -89,7 +90,10 @@ ChurnResult run_churn_experiment(const ChurnConfig& config) {
   driver.start();
 
   std::vector<FlowCounters> at_warmup;
-  sim.at(config.warmup, [&] { at_warmup = stats.snapshot(); });
+  const auto snap_warmup = [&] { at_warmup = stats.snapshot(); };
+  static_assert(InlineAction::stores_inline<decltype(snap_warmup)>,
+                "warmup snapshot event must not allocate");
+  sim.at(config.warmup, snap_warmup);
   sim.run_until(config.warmup + config.duration);
 
   ChurnResult result;

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "stats/replication.h"
+#include "util/annotations.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/task_pool.h"
@@ -38,7 +39,9 @@ std::string sanitize_cell(std::string text) {
   return text;
 }
 
+BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never feeds a result CSV");
 double seconds_since(std::chrono::steady_clock::time_point start) {
+  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never feeds a result CSV");
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
@@ -54,6 +57,7 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
   const std::size_t replications = std::max<std::size_t>(options.replications, 1);
   const std::size_t total = cases.size() * replications;
   const SeedSequence seq{options.base_seed};
+  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never feeds a result CSV");
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<RunSlot> slots(total);
@@ -64,6 +68,7 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
   auto report_progress = [&](bool final) {
     if (options.progress == nullptr) return;
     const std::lock_guard<std::mutex> lock{progress_mu};
+    BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never feeds a result CSV");
     const auto now = std::chrono::steady_clock::now();
     if (!final && now - last_report < std::chrono::milliseconds(200)) return;
     last_report = now;

@@ -10,6 +10,7 @@
 #include "core/threshold.h"
 #include "sched/fifo.h"
 #include "sched/wfq.h"
+#include "util/annotations.h"
 
 namespace bufq::fabric {
 namespace {
@@ -147,7 +148,7 @@ double Fabric::delay_bound_s(FlowId flow) const {
   return flow_bound_[static_cast<std::size_t>(flow)].to_seconds();
 }
 
-void Fabric::EgressSink::accept(const Packet& packet) {
+BUFQ_HOT void Fabric::EgressSink::accept(const Packet& packet) {
   Fabric& f = fabric_;
   const auto flow = static_cast<std::size_t>(packet.flow);
   if (packet.flow < 0 || flow >= f.flow_dst_.size() || f.flow_dst_[flow] != self_) {

@@ -7,7 +7,9 @@
 #include <memory>
 
 #include "check/invariants.h"
+#include "sim/inline_action.h"
 #include "traffic/sources.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace bufq::fabric {
@@ -179,15 +181,19 @@ ExperimentResult run_fabric_experiment(const FabricConfig& config) {
   for (const auto& source : sources) source->start();
 
   std::vector<FlowCounters> at_warmup;
-  sim.at(config.warmup, [&] { at_warmup = fabric.stats().snapshot(); });
+  const auto snap_warmup = [&] { at_warmup = fabric.stats().snapshot(); };
+  static_assert(InlineAction::stores_inline<decltype(snap_warmup)>,
+                "warmup snapshot event must not allocate");
+  sim.at(config.warmup, snap_warmup);
 
   const Time horizon = config.warmup + config.duration;
+  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
   const auto wall_start = std::chrono::steady_clock::now();
   sim.run_until(horizon);
+  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
+  const auto wall_end = std::chrono::steady_clock::now();
   const auto wall_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
-                                                           wall_start)
-          .count();
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start).count();
   run_metrics.registry().counter("sim.wall_ns").add(static_cast<std::uint64_t>(wall_ns));
 
   const auto at_end = fabric.stats().snapshot();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/inline_action.h"
+#include "util/annotations.h"
 
 namespace bufq {
 
@@ -66,7 +67,7 @@ void Node::route(FlowId flow, std::size_t port_index) {
   routes_[static_cast<std::size_t>(flow)] = static_cast<std::int64_t>(port_index);
 }
 
-void Node::accept(const Packet& packet) {
+BUFQ_HOT void Node::accept(const Packet& packet) {
   const auto f = static_cast<std::size_t>(packet.flow);
   if (packet.flow < 0 || f >= routes_.size() || routes_[f] < 0) {
     ++unrouted_packets_;

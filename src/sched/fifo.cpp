@@ -2,24 +2,26 @@
 
 #include "check/invariants.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
 
 namespace bufq {
 
 FifoScheduler::FifoScheduler(BufferManager& manager) : manager_{manager} {}
 
-bool FifoScheduler::enqueue(const Packet& packet, Time now) {
+BUFQ_HOT bool FifoScheduler::enqueue(const Packet& packet, Time now) {
   if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
     drops_metric_.add();
     if (on_drop_) on_drop_(packet, now);
     return false;
   }
   accepts_metric_.add();
+  BUFQ_LINT_SUPPRESS("hot-path-container-growth", "FIFO order needs pop_front; the deque grows in chunks and reuses them");
   queue_.push_back(packet);
   backlog_bytes_ += packet.size_bytes;
   return true;
 }
 
-std::optional<Packet> FifoScheduler::dequeue(Time now) {
+BUFQ_HOT std::optional<Packet> FifoScheduler::dequeue(Time now) {
   if (queue_.empty()) return std::nullopt;
   BUFQ_TRACE("sched.dequeue");
   Packet packet = queue_.front();

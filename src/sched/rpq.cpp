@@ -6,6 +6,7 @@
 
 #include "check/invariants.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
 
 namespace bufq {
 namespace {
@@ -41,7 +42,7 @@ std::int64_t RpqScheduler::slot_for(Time deadline) const {
   return deadline.ns() / granularity_.ns();
 }
 
-std::int64_t RpqScheduler::first_occupied_slot() const {
+BUFQ_HOT std::int64_t RpqScheduler::first_occupied_slot() const {
   assert(occupied_ > 0);
   const std::size_t n = ring_.size();
   const std::size_t start = index_of(min_slot_);
@@ -84,7 +85,7 @@ void RpqScheduler::grow(std::int64_t span) {
   occupancy_ = std::move(bits);
 }
 
-bool RpqScheduler::enqueue(const Packet& packet, Time now) {
+BUFQ_HOT bool RpqScheduler::enqueue(const Packet& packet, Time now) {
   if (!manager_.try_admit(packet.flow, packet.size_bytes, now)) {
     drops_metric_.add();
     if (on_drop_) on_drop_(packet, now);
@@ -112,6 +113,7 @@ bool RpqScheduler::enqueue(const Packet& packet, Time now) {
   }
 
   const std::size_t idx = index_of(slot);
+  BUFQ_LINT_SUPPRESS("hot-path-container-growth", "per-slot deque needs pop_front; chunked growth amortizes and chunks are reused");
   ring_[idx].push_back(packet);
   if (ring_[idx].size() == 1) {
     occupancy_[idx / 64] |= std::uint64_t{1} << (idx % 64);
@@ -122,7 +124,7 @@ bool RpqScheduler::enqueue(const Packet& packet, Time now) {
   return true;
 }
 
-std::optional<Packet> RpqScheduler::dequeue(Time now) {
+BUFQ_HOT std::optional<Packet> RpqScheduler::dequeue(Time now) {
   if (backlogged_packets_ == 0) return std::nullopt;
   BUFQ_TRACE("sched.dequeue");
   const std::int64_t slot = first_occupied_slot();

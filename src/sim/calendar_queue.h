@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "sim/inline_action.h"
+#include "util/annotations.h"
 #include "util/dary_heap.h"
 #include "util/units.h"
 
@@ -118,7 +119,7 @@ class CalendarQueue {
 
   /// Index of the event with the smallest (time, seq) in a non-empty
   /// unsorted bucket.
-  [[nodiscard]] static std::size_t min_index(const Bucket& bucket) {
+  BUFQ_HOT [[nodiscard]] static std::size_t min_index(const Bucket& bucket) {
     assert(!bucket.empty());
     const EarlierEvent earlier{};
     std::size_t best = 0;
@@ -136,16 +137,17 @@ class CalendarQueue {
     return cursor_window_ + static_cast<std::int64_t>(bucket_count());
   }
 
-  void file_into_ring(Event event, std::int64_t window) {
+  BUFQ_HOT void file_into_ring(Event event, std::int64_t window) {
     assert(window >= cursor_window_ && window < horizon());
     const std::size_t idx = index_of(window);
+    BUFQ_LINT_SUPPRESS("hot-path-container-growth", "buckets keep their capacity across pops; steady-state appends reuse it");
     buckets_[idx].push_back(std::move(event));
     occupancy_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     ++ring_size_;
   }
   /// Moves far-tier events whose window entered the ring's horizon into
   /// their buckets.
-  void drain_overflow() {
+  BUFQ_HOT void drain_overflow() {
     while (!overflow_.empty()) {
       const std::int64_t w = window_of(overflow_.top().time);
       if (w >= horizon()) break;
@@ -154,7 +156,7 @@ class CalendarQueue {
   }
   /// First non-empty ring window at or after `cursor_window_`, found by
   /// scanning the occupancy bitmap; requires ring_size_ > 0.
-  [[nodiscard]] std::int64_t first_occupied_window() const {
+  BUFQ_HOT [[nodiscard]] std::int64_t first_occupied_window() const {
     assert(ring_size_ > 0);
     const std::size_t n = bucket_count();
     const std::size_t start = index_of(cursor_window_);
@@ -205,7 +207,7 @@ class CalendarQueue {
 // worth measurably more than a compact translation unit.  The rare
 // paths (rebuild_at, narrow, grow) stay in calendar_queue.cpp.
 
-inline void CalendarQueue::push(Event event) {
+BUFQ_HOT inline void CalendarQueue::push(Event event) {
   const std::int64_t w = window_of(event.time);
   if (size_ == 0) {
     // Empty calendar: re-anchor the ring at the new event so the first
@@ -237,7 +239,7 @@ inline void CalendarQueue::push(Event event) {
   }
 }
 
-inline bool CalendarQueue::pop_min_at_or_before(Time limit, Event& out) {
+BUFQ_HOT inline bool CalendarQueue::pop_min_at_or_before(Time limit, Event& out) {
   if (size_ == 0) return false;
   if (!overflow_.empty()) {
     drain_overflow();
@@ -265,7 +267,7 @@ inline bool CalendarQueue::pop_min_at_or_before(Time limit, Event& out) {
   return true;
 }
 
-inline CalendarQueue::Event CalendarQueue::pop_min() {
+BUFQ_HOT inline CalendarQueue::Event CalendarQueue::pop_min() {
   assert(size_ > 0);
   Event out;
   [[maybe_unused]] const bool popped = pop_min_at_or_before(Time::max(), out);

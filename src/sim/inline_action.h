@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/annotations.h"
+
 namespace bufq {
 
 class InlineAction {
@@ -50,20 +52,21 @@ class InlineAction {
                 !std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
                 std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
-  InlineAction(F&& f) {
+  BUFQ_HOT InlineAction(F&& f) {
     using Fn = std::remove_cvref_t<F>;
     if constexpr (stores_inline<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &inline_ops<Fn>;
     } else {
+      BUFQ_LINT_SUPPRESS("hot-path-allocation", "cold fallback for oversize captures; hot call sites static_assert stores_inline");
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &heap_ops<Fn>;
     }
   }
 
-  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+  BUFQ_HOT InlineAction(InlineAction&& other) noexcept { move_from(other); }
 
-  InlineAction& operator=(InlineAction&& other) noexcept {
+  BUFQ_HOT InlineAction& operator=(InlineAction&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -77,7 +80,7 @@ class InlineAction {
   ~InlineAction() { reset(); }
 
   /// Invokes the stored callable.  Requires a non-empty action.
-  void operator()() {
+  BUFQ_HOT void operator()() {
     assert(ops_ != nullptr && "invoking an empty InlineAction");
     ops_->invoke(storage_);
   }
@@ -130,7 +133,7 @@ class InlineAction {
   template <typename Fn>
   static constexpr Ops heap_ops{&invoke_heap<Fn>, nullptr, &destroy_heap<Fn>};
 
-  void move_from(InlineAction& other) noexcept {
+  BUFQ_HOT void move_from(InlineAction& other) noexcept {
     ops_ = other.ops_;
     if (ops_ == nullptr) return;
     if (ops_->relocate == nullptr) {

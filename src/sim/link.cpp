@@ -4,6 +4,7 @@
 
 #include "check/invariants.h"
 #include "sim/inline_action.h"
+#include "util/annotations.h"
 
 namespace bufq {
 
@@ -12,12 +13,12 @@ Link::Link(Simulator& sim, QueueDiscipline& queue, Rate rate)
   assert(rate.bps() > 0.0);
 }
 
-void Link::accept(const Packet& packet) {
+BUFQ_HOT void Link::accept(const Packet& packet) {
   queue_.enqueue(packet, sim_.now());
   if (!busy_) try_transmit();
 }
 
-void Link::try_transmit() {
+BUFQ_HOT void Link::try_transmit() {
   assert(!busy_);
   auto next = queue_.dequeue(sim_.now());
   if (!next) return;
@@ -32,7 +33,7 @@ void Link::try_transmit() {
   sim_.in(tx, complete);
 }
 
-void Link::finish_transmission() {
+BUFQ_HOT void Link::finish_transmission() {
   const Packet packet = in_flight_;
   busy_ = false;
   bytes_delivered_ += packet.size_bytes;

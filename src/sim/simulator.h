@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "sim/calendar_queue.h"
 #include "sim/inline_action.h"
+#include "util/annotations.h"
 #include "util/units.h"
 
 namespace bufq {
@@ -41,7 +42,7 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `action` at absolute time `t`.  Requires t >= now().
-  void at(Time t, Action action) {
+  BUFQ_HOT void at(Time t, Action action) {
     BUFQ_CHECK(t >= now_, check::Invariant::kEventClock, -1, now_, t.to_seconds(),
                now_.to_seconds(), "event scheduled in the past");
 #if !BUFQ_CHECKS_ENABLED
@@ -52,14 +53,14 @@ class Simulator {
 
   /// Schedules `action` `delay` after the current time.  Requires a
   /// non-negative delay.
-  void in(Time delay, Action action) {
+  BUFQ_HOT void in(Time delay, Action action) {
     assert(delay >= Time::zero());
     at(now_ + delay, std::move(action));
   }
 
   /// Executes the single earliest pending event.  Returns false when the
   /// calendar is empty or the simulator was stopped.
-  bool step() {
+  BUFQ_HOT bool step() {
     if (stopped_ || calendar_.empty()) return false;
     CalendarQueue::Event ev = calendar_.pop_min();
     dispatch(ev);
@@ -71,7 +72,7 @@ class Simulator {
 
   /// Processes every event with timestamp <= `t`, then advances the clock
   /// to exactly `t` (so follow-up measurements see a consistent horizon).
-  void run_until(Time t) {
+  BUFQ_HOT void run_until(Time t) {
     assert(t >= now_);
     CalendarQueue::Event ev;
     // The fused pop avoids scanning the calendar once for min_time() and
@@ -94,7 +95,7 @@ class Simulator {
 
  private:
   /// The shared per-event body: clock advance, accounting, invoke.
-  void dispatch(CalendarQueue::Event& ev) {
+  BUFQ_HOT void dispatch(CalendarQueue::Event& ev) {
     BUFQ_TRACE("sim.step");
     BUFQ_CHECK(ev.time >= now_, check::Invariant::kEventClock, -1, now_, ev.time.to_seconds(),
                now_.to_seconds(), "event calendar ran backwards");

@@ -22,7 +22,10 @@ void AimdSource::start() {
   assert(!started_);
   started_ = true;
   emit_packet();
-  sim_.in(params_.rtt, [this] { epoch(); });
+  const auto first_epoch = [this] { epoch(); };
+  static_assert(InlineAction::stores_inline<decltype(first_epoch)>,
+                "AIMD epoch event must not allocate");
+  sim_.in(params_.rtt, first_epoch);
 }
 
 void AimdSource::emit_packet() {
@@ -46,7 +49,10 @@ void AimdSource::epoch() {
     rate_ = std::min(rate_ + params_.additive_increase, params_.ceiling_rate);
   }
   loss_in_epoch_ = false;
-  sim_.in(params_.rtt, [this] { epoch(); });
+  const auto next_epoch = [this] { epoch(); };
+  static_assert(InlineAction::stores_inline<decltype(next_epoch)>,
+                "AIMD epoch event must not allocate");
+  sim_.in(params_.rtt, next_epoch);
 }
 
 }  // namespace bufq

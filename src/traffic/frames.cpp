@@ -19,7 +19,10 @@ FrameSource::FrameSource(Simulator& sim, PacketSink& sink, Params params, Rng rn
 void FrameSource::start() {
   assert(!started_);
   started_ = true;
-  sim_.in(rng_.exponential_time(params_.mean_frame_interval), [this] { begin_frame(); });
+  const auto first = [this] { begin_frame(); };
+  static_assert(InlineAction::stores_inline<decltype(first)>,
+                "frame start event must not allocate");
+  sim_.in(rng_.exponential_time(params_.mean_frame_interval), first);
 }
 
 void FrameSource::begin_frame() {
@@ -27,7 +30,10 @@ void FrameSource::begin_frame() {
   segment_index_ = 0;
   ++frames_emitted_;
   emit_segment();
-  sim_.in(rng_.exponential_time(params_.mean_frame_interval), [this] { begin_frame(); });
+  const auto next = [this] { begin_frame(); };
+  static_assert(InlineAction::stores_inline<decltype(next)>,
+                "frame interval event must not allocate");
+  sim_.in(rng_.exponential_time(params_.mean_frame_interval), next);
 }
 
 void FrameSource::emit_segment() {

@@ -116,7 +116,10 @@ void CbrSource::emit_packet() {
                       .created = sim_.now()});
   bytes_emitted_ += packet_bytes_;
   ++packets_emitted_;
-  sim_.in(interval_, [this] { emit_packet(); });
+  const auto tick = [this] { emit_packet(); };
+  static_assert(InlineAction::stores_inline<decltype(tick)>,
+                "CBR emission event must not allocate");
+  sim_.in(interval_, tick);
 }
 
 // --------------------------------------------------------------- Poisson
@@ -136,7 +139,10 @@ PoissonSource::PoissonSource(Simulator& sim, PacketSink& sink, FlowId flow, Rate
 void PoissonSource::start() {
   assert(!started_);
   started_ = true;
-  sim_.in(rng_.exponential_time(mean_gap_), [this] { emit_packet(); });
+  const auto first = [this] { emit_packet(); };
+  static_assert(InlineAction::stores_inline<decltype(first)>,
+                "Poisson emission event must not allocate");
+  sim_.in(rng_.exponential_time(mean_gap_), first);
 }
 
 void PoissonSource::emit_packet() {
@@ -146,7 +152,10 @@ void PoissonSource::emit_packet() {
                       .created = sim_.now()});
   bytes_emitted_ += packet_bytes_;
   ++packets_emitted_;
-  sim_.in(rng_.exponential_time(mean_gap_), [this] { emit_packet(); });
+  const auto tick = [this] { emit_packet(); };
+  static_assert(InlineAction::stores_inline<decltype(tick)>,
+                "Poisson emission event must not allocate");
+  sim_.in(rng_.exponential_time(mean_gap_), tick);
 }
 
 // ---------------------------------------------------------------- Greedy
@@ -175,7 +184,10 @@ void GreedySource::emit_packet() {
                       .created = sim_.now()});
   bytes_emitted_ += packet_bytes_;
   ++packets_emitted_;
-  sim_.in(interval_, [this] { emit_packet(); });
+  const auto tick = [this] { emit_packet(); };
+  static_assert(InlineAction::stores_inline<decltype(tick)>,
+                "greedy emission event must not allocate");
+  sim_.in(interval_, tick);
 }
 
 }  // namespace bufq

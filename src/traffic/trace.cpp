@@ -78,7 +78,10 @@ void TraceSource::emit_next() {
     ++next_;
   }
   if (next_ < entries_.size()) {
-    sim_.at(entries_[next_].at, [this] { emit_next(); });
+    const auto fire = [this] { emit_next(); };
+    static_assert(InlineAction::stores_inline<decltype(fire)>,
+                  "trace replay event must not allocate");
+    sim_.at(entries_[next_].at, fire);
   }
 }
 

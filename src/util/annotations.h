@@ -1,0 +1,42 @@
+// Source annotations for the project's static-analysis pass (bufq-lint).
+//
+// The two hardest-won properties of this codebase — bit-identical
+// determinism (sweep CSVs identical at any --jobs) and the
+// allocation-free event-kernel hot path — are enforced statically by
+// tools/bufq_lint (see DESIGN.md "Static analysis layer").  The linter
+// needs two hooks in the source:
+//
+//   BUFQ_HOT               marks a function as hot-path: bufq-lint then
+//                          forbids std::function, heap allocation,
+//                          throwing, and unreserved container growth
+//                          inside its body.  Expands to [[gnu::hot]]
+//                          (a pure optimizer hint, zero runtime cost;
+//                          bench floors are re-checked after every
+//                          annotation sweep) or to nothing elsewhere.
+//
+//   BUFQ_LINT_SUPPRESS     silences one rule on the same line and the
+//                          line immediately after, with a mandatory
+//                          human-readable reason.  Compiles to a
+//                          static_assert that only checks both strings
+//                          are non-empty literals, so it is legal at
+//                          namespace, class, and statement scope and
+//                          costs nothing at runtime.
+//
+// Suppression policy (also in CONTRIBUTING.md): a suppression is a
+// reviewed exception, not an escape hatch — the reason string must say
+// why the flagged construct cannot affect results (determinism rules)
+// or allocate in steady state (hot-path rules).
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BUFQ_HOT [[gnu::hot]]
+#else
+#define BUFQ_HOT
+#endif
+
+// `rule` and `reason` must be non-empty string literals; bufq-lint
+// reads them straight out of the token stream, so no macro indirection
+// is allowed at use sites.
+#define BUFQ_LINT_SUPPRESS(rule, reason)                                      \
+  static_assert(sizeof(rule) > 1 && sizeof(reason) > 1,                       \
+                "BUFQ_LINT_SUPPRESS needs a non-empty rule id and reason")

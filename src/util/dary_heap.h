@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace bufq {
 
 template <typename T, std::size_t Arity = 4, typename Compare = std::less<T>>
@@ -37,12 +39,12 @@ class DaryMinHeap {
   void clear() { data_.clear(); }
 
   /// Smallest element under Compare.  Requires a non-empty heap.
-  [[nodiscard]] const T& top() const {
+  BUFQ_HOT [[nodiscard]] const T& top() const {
     assert(!data_.empty());
     return data_.front();
   }
 
-  void push(T value) {
+  BUFQ_HOT void push(T value) {
     data_.push_back(std::move(value));
     sift_up(data_.size() - 1);
   }
@@ -57,7 +59,7 @@ class DaryMinHeap {
   }
 
   /// Removes and returns the smallest element.
-  T pop() {
+  BUFQ_HOT T pop() {
     assert(!data_.empty());
     T out = std::move(data_.front());
     T tail = std::move(data_.back());
@@ -70,7 +72,7 @@ class DaryMinHeap {
   }
 
  private:
-  void sift_up(std::size_t i) {
+  BUFQ_HOT void sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / Arity;
       if (!less_(data_[i], data_[parent])) break;
@@ -79,7 +81,7 @@ class DaryMinHeap {
     }
   }
 
-  void sift_down(std::size_t i) {
+  BUFQ_HOT void sift_down(std::size_t i) {
     const std::size_t n = data_.size();
     for (;;) {
       const std::size_t first_child = i * Arity + 1;

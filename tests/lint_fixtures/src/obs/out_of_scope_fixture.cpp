@@ -1,0 +1,10 @@
+// Fixture (clean): wall-clock use in src/obs, which is outside the
+// determinism scope (observability may time real execution).
+namespace bufq::obs {
+
+double observe_elapsed() {
+  const auto start = std::chrono::steady_clock::now();
+  return static_cast<double>(start.time_since_epoch().count());
+}
+
+}  // namespace bufq::obs

@@ -1,0 +1,6 @@
+// Fixture: a suppression naming a rule that does not exist.
+namespace bufq {
+
+BUFQ_LINT_SUPPRESS("no-such-rule", "typo in the rule id");  // LINT[hygiene-bad-suppression]
+
+}  // namespace bufq

@@ -1,0 +1,8 @@
+// Fixture: heap allocation inside an annotated hot function.
+namespace bufq {
+
+BUFQ_HOT int* allocate_counter() {
+  return new int{0};  // LINT[hot-path-allocation]
+}
+
+}  // namespace bufq

@@ -1,0 +1,8 @@
+// Fixture: unreserved container growth inside an annotated hot function.
+namespace bufq {
+
+BUFQ_HOT void record(std::vector<long>& samples, long value) {
+  samples.push_back(value);  // LINT[hot-path-container-growth]
+}
+
+}  // namespace bufq

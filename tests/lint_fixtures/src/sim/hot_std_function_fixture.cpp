@@ -1,0 +1,9 @@
+// Fixture: type-erased callable inside an annotated hot function.
+namespace bufq {
+
+BUFQ_HOT void run_callback(int value) {
+  std::function<void(int)> callback;  // LINT[hot-path-std-function]
+  if (callback) callback(value);
+}
+
+}  // namespace bufq

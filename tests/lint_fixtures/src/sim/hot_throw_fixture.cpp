@@ -1,0 +1,10 @@
+// Fixture: throwing inside an annotated hot function.
+namespace bufq {
+
+BUFQ_HOT void check_index(unsigned long i, unsigned long n) {
+  if (i >= n) {
+    throw i;  // LINT[hot-path-throw]
+  }
+}
+
+}  // namespace bufq

@@ -1,0 +1,9 @@
+// Fixture: a system include after project includes.
+#include "util/annotations.h"
+#include <vector>  // LINT[hygiene-include-order]
+
+namespace bufq {
+
+std::vector<int> empty_vector() { return {}; }
+
+}  // namespace bufq

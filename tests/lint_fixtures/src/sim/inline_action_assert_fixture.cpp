@@ -1,0 +1,8 @@
+// Fixture: scheduling a lambda literal without a stores_inline assert.
+namespace bufq {
+
+void Driver::start() {
+  sim_.in(delay_, [this] { tick(); });  // LINT[hygiene-inline-action-assert]
+}
+
+}  // namespace bufq

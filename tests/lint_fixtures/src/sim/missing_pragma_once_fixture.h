@@ -1,0 +1,8 @@
+// LINT[hygiene-pragma-once] Fixture: a header with no #pragma once.
+namespace bufq {
+
+struct PlainRecord {
+  int value = 0;
+};
+
+}  // namespace bufq

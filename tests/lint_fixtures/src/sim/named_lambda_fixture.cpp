@@ -1,0 +1,12 @@
+// Fixture (clean): the blessed scheduling idiom — a named lambda with a
+// stores_inline static_assert before the schedule call.
+namespace bufq {
+
+void Driver::start() {
+  const auto fire = [this] { tick(); };
+  static_assert(InlineAction::stores_inline<decltype(fire)>,
+                "driver tick event must not allocate");
+  sim_.in(delay_, fire);
+}
+
+}  // namespace bufq

@@ -1,0 +1,9 @@
+// Fixture: non-seeded randomness inside a result-affecting directory.
+namespace bufq {
+
+unsigned entropy() {
+  std::random_device device;  // LINT[determinism-random-source]
+  return device();
+}
+
+}  // namespace bufq

@@ -1,0 +1,12 @@
+// Fixture (clean): growth into reserved capacity is not flagged.
+namespace bufq {
+
+struct Recorder {
+  std::vector<long> samples_;
+
+  void prepare(unsigned long n) { samples_.reserve(n); }
+
+  BUFQ_HOT void record(long value) { samples_.push_back(value); }
+};
+
+}  // namespace bufq

@@ -1,0 +1,11 @@
+// Fixture (clean): a valid suppression silences the wall-clock rule, and
+// the used suppression produces no hygiene-unused-suppression finding.
+namespace bufq {
+
+double suppressed_elapsed() {
+  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress display only; never feeds a result CSV");
+  const auto start = std::chrono::steady_clock::now();
+  return static_cast<double>(start.time_since_epoch().count());
+}
+
+}  // namespace bufq

@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container in a result-affecting path.
+namespace bufq {
+
+long sum_occupancy(const std::unordered_map<int, long> table) {
+  long total = 0;
+  for (const auto& entry : table) {  // LINT[determinism-unordered-iteration]
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace bufq

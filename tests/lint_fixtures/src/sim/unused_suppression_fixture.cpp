@@ -1,0 +1,8 @@
+// Fixture: a suppression that silences nothing.
+namespace bufq {
+
+BUFQ_LINT_SUPPRESS("hot-path-throw", "nothing here throws");  // LINT[hygiene-unused-suppression]
+
+int answer() { return 42; }
+
+}  // namespace bufq

@@ -1,0 +1,9 @@
+// Fixture: a wall-clock read inside a result-affecting directory.
+namespace bufq {
+
+double elapsed_seconds() {
+  const auto start = std::chrono::steady_clock::now();  // LINT[determinism-wall-clock]
+  return static_cast<double>(start.time_since_epoch().count());
+}
+
+}  // namespace bufq

@@ -1,0 +1,233 @@
+#include "bufq_lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace bufq::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// True when an identifier is one of the raw-string prefixes (R, u8R,
+/// uR, UR, LR) and the next character opens a string literal.
+bool is_raw_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : s_{source} {}
+
+  std::vector<Token> run() {
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++i_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && i_ + 1 < s_.size() && s_[i_ + 1] == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && i_ + 1 < s_.size() && s_[i_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && i_ + 1 < s_.size() && is_digit(s_[i_ + 1]))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(TokKind kind, std::size_t begin, std::size_t end, int line) {
+    out_.push_back(Token{kind, std::string{s_.substr(begin, end - begin)}, line});
+  }
+
+  void directive() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    std::string text;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\' && i_ + 1 < s_.size() && s_[i_ + 1] == '\n') {
+        // Fold the continuation so rules see one logical directive.
+        text.push_back(' ');
+        ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') break;
+      text.push_back(c);
+      ++i_;
+    }
+    (void)begin;
+    out_.push_back(Token{TokKind::kDirective, std::move(text), line});
+  }
+
+  void line_comment() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+    emit(TokKind::kComment, begin, i_, line);
+  }
+
+  void block_comment() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    i_ += 2;
+    while (i_ < s_.size()) {
+      if (s_[i_] == '\n') ++line_;
+      if (s_[i_] == '*' && i_ + 1 < s_.size() && s_[i_ + 1] == '/') {
+        i_ += 2;
+        break;
+      }
+      ++i_;
+    }
+    emit(TokKind::kComment, begin, i_, line);
+  }
+
+  void identifier() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    while (i_ < s_.size() && is_ident_char(s_[i_])) ++i_;
+    const std::string_view ident = s_.substr(begin, i_ - begin);
+    if (i_ < s_.size() && s_[i_] == '"' && is_raw_prefix(ident)) {
+      raw_string(begin, line);
+      return;
+    }
+    emit(TokKind::kIdentifier, begin, i_, line);
+  }
+
+  void number() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++i_;
+        continue;
+      }
+      // Exponent signs belong to the number (1e-9, 0x1p+3).
+      if ((c == '+' || c == '-') && i_ > begin) {
+        const char prev = s_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, i_, line);
+  }
+
+  void string_literal() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    ++i_;  // opening quote
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\' && i_ + 1 < s_.size()) {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts honest
+      ++i_;
+      if (c == '"') break;
+    }
+    emit(TokKind::kString, begin, i_, line);
+  }
+
+  void raw_string(std::size_t prefix_begin, int line) {
+    // At entry i_ points at the opening quote: R"delim( ... )delim".
+    ++i_;
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(') {
+      delim.push_back(s_[i_]);
+      ++i_;
+    }
+    if (i_ < s_.size()) ++i_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = s_.find(closer, i_);
+    std::size_t stop = s_.size();
+    if (end != std::string_view::npos) stop = end + closer.size();
+    for (std::size_t k = i_; k < stop && k < s_.size(); ++k) {
+      if (s_[k] == '\n') ++line_;
+    }
+    i_ = stop;
+    emit(TokKind::kString, prefix_begin, i_, line);
+  }
+
+  void char_literal() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\' && i_ + 1 < s_.size()) {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // unterminated
+      ++i_;
+      if (c == '\'') break;
+    }
+    emit(TokKind::kChar, begin, i_, line);
+  }
+
+  void punct() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    if (s_[i_] == ':' && i_ + 1 < s_.size() && s_[i_ + 1] == ':') {
+      i_ += 2;  // "::" as one token keeps range-for colons unambiguous
+    } else {
+      ++i_;
+    }
+    emit(TokKind::kPunct, begin, i_, line);
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer{source}.run(); }
+
+}  // namespace bufq::lint

@@ -1,0 +1,38 @@
+// Minimal C++ lexer for bufq-lint's tokenizer engine.
+//
+// Produces a flat token stream with line numbers — identifiers,
+// numbers, string/char literals, punctuation, whole preprocessor
+// directives, and comments — which is all the project's contract rules
+// need (they match token shapes, not grammar).  Notably handled so the
+// rules never misfire inside literals: raw strings, escape sequences,
+// digit separators, line continuations in directives, and both comment
+// forms.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bufq::lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,   // text includes the quotes (and any raw-string delimiters)
+  kChar,
+  kPunct,    // single characters, except "::" which is one token
+  kDirective,  // a whole logical preprocessor line, continuations folded
+  kComment,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line where the token starts
+};
+
+/// Tokenizes `source`.  Never fails: unterminated literals or comments
+/// are closed at end of input, so rule passes always see a full stream.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace bufq::lint

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Advisory libclang cross-check for bufq-lint's determinism rules.
+
+The authoritative engine is the C++ tokenizer (tools/bufq_lint); it has
+no compiler dependency, so CI can never silently skip it.  This script
+is the optional second opinion: when python3-clang is installed it
+parses every source in the compilation database with a real C++
+frontend and reports wall-clock / random-source references that appear
+in result-affecting directories, including ones the tokenizer cannot
+see (e.g. uses hidden behind macros or type aliases).
+
+Exit codes:
+  0  clean, or libclang unavailable (advisory tool, never a hard gate)
+  1  cross-check found references the tokenizer pass should be
+     compared against (advisory; the CI job that runs this is
+     continue-on-error)
+  2  usage error
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DETERMINISM_DIRS = (
+    "src/sim/",
+    "src/sched/",
+    "src/core/",
+    "src/net/",
+    "src/fabric/",
+    "src/expt/",
+    "src/traffic/",
+    "src/admission/",
+)
+
+# Fully-qualified names whose *use* (not declaration) taints determinism.
+WALL_CLOCK = {
+    "std::chrono::system_clock",
+    "std::chrono::steady_clock",
+    "std::chrono::high_resolution_clock",
+    "gettimeofday",
+    "clock_gettime",
+    "timespec_get",
+}
+RANDOM = {
+    "std::random_device",
+    "rand",
+    "srand",
+    "rand_r",
+    "drand48",
+    "lrand48",
+}
+
+
+def qualified_name(cursor):
+    parts = []
+    c = cursor
+    while c is not None and c.spelling:
+        parts.append(c.spelling)
+        c = c.semantic_parent
+        if c is not None and c.kind.name == "TRANSLATION_UNIT":
+            break
+    return "::".join(reversed(parts))
+
+
+def in_scope(path, root):
+    try:
+        rel = Path(path).resolve().relative_to(root.resolve())
+    except ValueError:
+        return None
+    rel_str = rel.as_posix()
+    if not any(rel_str.startswith(d) for d in DETERMINISM_DIRS):
+        return None
+    return rel_str
+
+
+def scan_tu(tu, root, findings):
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind.name not in ("DECL_REF_EXPR", "TYPE_REF", "CALL_EXPR"):
+            continue
+        loc = cursor.location
+        if loc.file is None:
+            continue
+        rel = in_scope(loc.file.name, root)
+        if rel is None:
+            continue
+        ref = cursor.referenced
+        if ref is None:
+            continue
+        name = qualified_name(ref)
+        if name in WALL_CLOCK:
+            findings.append((rel, loc.line, "determinism-wall-clock", name))
+        elif name in RANDOM:
+            findings.append((rel, loc.line, "determinism-random-source", name))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--compdb",
+        default="build/compile_commands.json",
+        help="path to compile_commands.json",
+    )
+    args = parser.parse_args()
+
+    try:
+        from clang import cindex
+    except ImportError:
+        print(
+            "libclang-check: python3-clang not installed; skipping "
+            "(the tokenizer engine remains authoritative)",
+            file=sys.stderr,
+        )
+        return 0
+
+    root = Path(args.root)
+    compdb_path = Path(args.compdb)
+    if not compdb_path.is_file():
+        print(f"libclang-check: no compilation database at {compdb_path}", file=sys.stderr)
+        return 2
+    entries = json.loads(compdb_path.read_text())
+
+    try:
+        index = cindex.Index.create()
+    except cindex.LibclangError as err:
+        print(f"libclang-check: libclang unavailable ({err}); skipping", file=sys.stderr)
+        return 0
+
+    findings = []
+    parsed = 0
+    for entry in entries:
+        src = entry["file"]
+        if in_scope(src, root) is None:
+            continue
+        arguments = entry.get("arguments")
+        if arguments is None:
+            arguments = entry.get("command", "").split()
+        # Drop the compiler argv[0] and the -o/object operands libclang rejects.
+        clang_args = []
+        skip_next = False
+        for a in arguments[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a == "-c" or a == src:
+                continue
+            clang_args.append(a)
+        try:
+            tu = index.parse(src, args=clang_args)
+        except cindex.TranslationUnitLoadError as err:
+            print(f"libclang-check: cannot parse {src}: {err}", file=sys.stderr)
+            continue
+        parsed += 1
+        scan_tu(tu, root, findings)
+
+    for rel, line, rule, name in sorted(set(findings)):
+        print(f"{rel}:{line}: [{rule}] libclang sees '{name}' in a result-affecting path")
+    print(
+        f"libclang-check: {parsed} translation units parsed, "
+        f"{len(set(findings))} reference(s) flagged "
+        "(advisory; compare against the tokenizer pass and its suppressions)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

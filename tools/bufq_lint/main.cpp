@@ -1,0 +1,97 @@
+// Command-line driver for bufq-lint (see lint.h for the rule set and
+// scripts/check_lint.sh for the CI entry point).
+//
+// Usage:
+//   bufq_lint --root DIR [--compdb FILE] [--baseline FILE]
+//             [--write-baseline FILE] [--fixture-mode] [--list-rules]
+//             [paths...]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "bufq_lint/lint.h"
+
+namespace {
+
+bool take_value(std::string_view arg, std::string_view flag, std::string& out) {
+  if (arg.rfind(flag, 0) != 0) return false;
+  if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+    out = std::string{arg.substr(flag.size() + 1)};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bufq::lint::Options options;
+  std::string value;
+  std::string write_baseline;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (take_value(arg, "--root", value)) {
+      options.root = value;
+    } else if (take_value(arg, "--compdb", value)) {
+      options.compdb = value;
+    } else if (take_value(arg, "--baseline", value)) {
+      options.baseline = value;
+    } else if (take_value(arg, "--write-baseline", value)) {
+      write_baseline = value;
+    } else if (arg == "--fixture-mode") {
+      options.fixture_mode = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bufq-lint: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      options.files.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& rule : bufq::lint::known_rules()) {
+      std::printf("%s\n", rule.c_str());
+    }
+    return 0;
+  }
+
+  if (!write_baseline.empty()) {
+    // Baseline regeneration lints the raw tree (no subtraction).
+    options.baseline.clear();
+  }
+  const bufq::lint::Result result = bufq::lint::run(options);
+  for (const std::string& note : result.notes) {
+    std::fprintf(stderr, "bufq-lint: %s\n", note.c_str());
+  }
+  if (result.files_checked == 0) {
+    std::fprintf(stderr, "bufq-lint: no files found under %s\n",
+                 options.root.string().c_str());
+    return 2;
+  }
+  for (const auto& f : result.findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream out{write_baseline};
+    out << bufq::lint::to_baseline(result.findings, options.root);
+    if (!out) {
+      std::fprintf(stderr, "bufq-lint: cannot write %s\n", write_baseline.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "bufq-lint: wrote %zu baseline entries to %s\n",
+                 result.findings.size(), write_baseline.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "bufq-lint: %zu files checked, %zu finding(s)\n",
+               result.files_checked, result.findings.size());
+  return result.findings.empty() ? 0 : 1;
+}
