@@ -44,11 +44,36 @@ BenchOptions parse_options(int argc, const char* const* argv,
       flags.get_int("jobs", static_cast<std::int64_t>(TaskPool::default_thread_count())));
   options.progress = flags.get_bool("progress", false);
   options.metrics_out = flags.get("metrics-out").value_or("");
+  const auto checkpoint_out = flags.get("checkpoint-out");
+  const auto checkpoint_in = flags.get("checkpoint-in");
+  const bool roundtrip = flags.get_bool("checkpoint-roundtrip", false);
+  if (static_cast<int>(checkpoint_out.has_value()) + static_cast<int>(checkpoint_in.has_value()) +
+          static_cast<int>(roundtrip) >
+      1) {
+    std::fprintf(stderr,
+                 "--checkpoint-out, --checkpoint-in and --checkpoint-roundtrip are mutually "
+                 "exclusive\n");
+    std::exit(2);
+  }
+  if (checkpoint_out) {
+    options.checkpoint.mode = SweepCheckpointMode::kWrite;
+    options.checkpoint.dir = *checkpoint_out;
+  } else if (checkpoint_in) {
+    options.checkpoint.mode = SweepCheckpointMode::kRead;
+    options.checkpoint.dir = *checkpoint_in;
+  } else if (roundtrip) {
+    options.checkpoint.mode = SweepCheckpointMode::kRoundtrip;
+  }
+  options.checkpoint.trigger.events =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-events", 0));
+  options.checkpoint.trigger.at = Time::from_seconds(flags.get_double("checkpoint-at", 0.0));
   const auto unknown = flags.unused();
   if (!unknown.empty()) {
     std::fprintf(stderr,
                  "unknown flag --%s (supported: --seeds --replications --seed --warmup "
-                 "--duration --buffers --jobs --progress --metrics-out)\n",
+                 "--duration --buffers --jobs --progress --metrics-out --checkpoint-out "
+                 "--checkpoint-in --checkpoint-roundtrip --checkpoint-events "
+                 "--checkpoint-at)\n",
                  unknown.front().c_str());
     std::exit(2);
   }
@@ -70,6 +95,7 @@ std::map<std::string, Summary> replicate(
   sweep_options.replications = options.seeds;
   sweep_options.base_seed = options.base_seed;
   sweep_options.seed_mode = SeedMode::kSharedAcrossCases;
+  sweep_options.checkpoint = options.checkpoint;
   const SweepResult result = run_sweep({std::move(single)}, extract, sweep_options);
 
   const SweepRow& row = result.rows.front();
@@ -156,6 +182,7 @@ int run_figure_main(int figure, int argc, const char* const* argv) {
   // is the methodology the serial benches always used.
   sweep_options.seed_mode = SeedMode::kSharedAcrossCases;
   sweep_options.progress = options.progress ? &std::cerr : nullptr;
+  sweep_options.checkpoint = options.checkpoint;
 
   const SweepResult result = run_sweep(std::move(fig.cases), fig.extract, sweep_options);
 

@@ -40,6 +40,17 @@ using bufq::threshold_figure_schemes;
 ///   --metrics-out=PATH BENCH_*.json perf artifact (obs registry merged
 ///                      over every run, plus derived events/s); the run
 ///                      fails loudly (exit 1) if PATH is unwritable
+///   --checkpoint-out=DIR   snapshot every run mid-flight into DIR
+///                          (warm-start producer; see sim/checkpoint.h)
+///   --checkpoint-in=DIR    restore every run from DIR instead of
+///                          replaying the warmup (warm-start consumer)
+///   --checkpoint-roundtrip snapshot + restore in-process and report the
+///                          resumed results — output must stay
+///                          byte-identical to a plain run
+///   --checkpoint-events=N  snapshot after N dispatched events
+///   --checkpoint-at=SECS   snapshot at simulated time SECS (default:
+///                          end of warmup)
+/// The three mode flags are mutually exclusive.
 struct BenchOptions {
   std::size_t seeds{5};
   std::uint64_t base_seed{1};
@@ -49,6 +60,7 @@ struct BenchOptions {
   std::size_t jobs{0};  ///< 0 = hardware concurrency
   bool progress{false};
   std::string metrics_out;  ///< empty = no metrics artifact
+  SweepCheckpoint checkpoint;
 };
 
 /// Parses options; exits with a message on malformed or unknown flags.

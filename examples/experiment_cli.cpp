@@ -16,12 +16,21 @@
 //   --seeds       replications                       (default 5)
 //   --warmup, --duration  seconds                    (default 5 / 20)
 //   --delays      also report per-flow delays        (default false)
+//   --checkpoint-out=DIR   snapshot each replication mid-run into DIR
+//   --checkpoint-in=DIR    resume each replication from DIR (skips warmup)
+//   --checkpoint-roundtrip snapshot + restore in-process; the report must
+//                          match a plain run exactly
+//   --checkpoint-events=N / --checkpoint-at=SECS  when to snapshot
+//                          (default: end of warmup)
 #include <cstdio>
 #include <iostream>
 #include <stdexcept>
+#include <utility>
 
 #include "expt/experiment.h"
+#include "expt/sweep.h"
 #include "expt/workloads.h"
+#include "sim/checkpoint.h"
 #include "stats/replication.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -78,6 +87,31 @@ int main(int argc, char** argv) {
     config.record_delays = flags.get_bool("delays", false);
     const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 5));
 
+    const auto checkpoint_out = flags.get("checkpoint-out");
+    const auto checkpoint_in = flags.get("checkpoint-in");
+    const bool roundtrip = flags.get_bool("checkpoint-roundtrip", false);
+    if (static_cast<int>(checkpoint_out.has_value()) +
+            static_cast<int>(checkpoint_in.has_value()) + static_cast<int>(roundtrip) >
+        1) {
+      throw std::invalid_argument(
+          "--checkpoint-out, --checkpoint-in and --checkpoint-roundtrip are mutually "
+          "exclusive");
+    }
+    auto checkpoint_mode = SweepCheckpointMode::kOff;
+    std::string checkpoint_dir;
+    if (checkpoint_out) {
+      checkpoint_mode = SweepCheckpointMode::kWrite;
+      checkpoint_dir = *checkpoint_out;
+    } else if (checkpoint_in) {
+      checkpoint_mode = SweepCheckpointMode::kRead;
+      checkpoint_dir = *checkpoint_in;
+    } else if (roundtrip) {
+      checkpoint_mode = SweepCheckpointMode::kRoundtrip;
+    }
+    CheckpointTrigger trigger;
+    trigger.events = static_cast<std::uint64_t>(flags.get_int("checkpoint-events", 0));
+    trigger.at = Time::from_seconds(flags.get_double("checkpoint-at", 0.0));
+
     std::vector<FlowId> conformant;
     if (workload == "table1") {
       config.flows = table1_flows();
@@ -110,7 +144,26 @@ int main(int argc, char** argv) {
     const auto metrics = runner.run([&, config](std::uint64_t seed) {
       ExperimentConfig trial_config = config;
       trial_config.seed = seed;
-      const auto result = run_experiment(trial_config);
+      const auto result = [&]() -> ExperimentResult {
+        const std::string path =
+            checkpoint_dir + "/ckpt_seed" + std::to_string(seed) + ".bufq";
+        switch (checkpoint_mode) {
+          case SweepCheckpointMode::kOff:
+            return run_experiment(trial_config);
+          case SweepCheckpointMode::kRoundtrip: {
+            const CheckpointedRun run = run_experiment_with_checkpoint(trial_config, trigger);
+            return resume_experiment(trial_config, run.checkpoint);
+          }
+          case SweepCheckpointMode::kWrite: {
+            CheckpointedRun run = run_experiment_with_checkpoint(trial_config, trigger);
+            write_checkpoint_file(path, run.checkpoint);
+            return std::move(run.result);
+          }
+          case SweepCheckpointMode::kRead:
+            return resume_experiment(trial_config, read_checkpoint_file(path));
+        }
+        return run_experiment(trial_config);  // unreachable
+      }();
       std::map<std::string, double> m;
       m["agg_mbps"] = result.aggregate_throughput_mbps();
       m["conformant_loss"] = result.loss_ratio(conformant);

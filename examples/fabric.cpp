@@ -15,11 +15,18 @@
 //   --warmup / --duration  seconds
 //   --seed       root seed (also the ECMP salt)
 //   --report     print the per-hop budget report (default true)
+//   --checkpoint-out=PATH   snapshot the run mid-flight to PATH
+//   --checkpoint-in=PATH    resume the run from PATH (skips the warmup)
+//   --checkpoint-roundtrip  snapshot + restore in-process; the report
+//                           must match a plain run exactly
+//   --checkpoint-events=N / --checkpoint-at=SECS  when to snapshot
+//                           (default: end of warmup)
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 
 #include "fabric/scenario.h"
+#include "sim/checkpoint.h"
 #include "util/flags.h"
 
 namespace {
@@ -65,6 +72,20 @@ int main(int argc, char** argv) try {
   config.duration = Time::from_seconds(flags.get_double("duration", 4.0));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool report = flags.get_bool("report", true);
+  const auto checkpoint_out = flags.get("checkpoint-out");
+  const auto checkpoint_in = flags.get("checkpoint-in");
+  const bool roundtrip = flags.get_bool("checkpoint-roundtrip", false);
+  if (static_cast<int>(checkpoint_out.has_value()) + static_cast<int>(checkpoint_in.has_value()) +
+          static_cast<int>(roundtrip) >
+      1) {
+    std::fprintf(stderr,
+                 "--checkpoint-out, --checkpoint-in and --checkpoint-roundtrip are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  CheckpointTrigger trigger;
+  trigger.events = static_cast<std::uint64_t>(flags.get_int("checkpoint-events", 0));
+  trigger.at = Time::from_seconds(flags.get_double("checkpoint-at", 0.0));
   if (const auto unused = flags.unused(); !unused.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unused.front().c_str());
     return 2;
@@ -77,7 +98,21 @@ int main(int argc, char** argv) try {
               scenario.topo.link_count(), scenario.bindings.size());
   if (report) std::printf("\n%s\n", scenario.plan.report(scenario.topo).c_str());
 
-  const ExperimentResult result = run_fabric_experiment(config);
+  const ExperimentResult result = [&] {
+    if (checkpoint_out) {
+      CheckpointedRun run = run_fabric_experiment_with_checkpoint(config, trigger);
+      write_checkpoint_file(*checkpoint_out, run.checkpoint);
+      return run.result;
+    }
+    if (checkpoint_in) {
+      return resume_fabric_experiment(config, read_checkpoint_file(*checkpoint_in));
+    }
+    if (roundtrip) {
+      const CheckpointedRun run = run_fabric_experiment_with_checkpoint(config, trigger);
+      return resume_fabric_experiment(config, run.checkpoint);
+    }
+    return run_fabric_experiment(config);
+  }();
   const auto metrics = fabric_metrics(result);
   std::printf("premium:   %.2f Mb/s delivered (declared %.2f), loss %.4f%%\n",
               metrics.at("premium_mbps"), config.premium_rate.mbps(),

@@ -5,9 +5,13 @@
 //
 //   sweep --figure=N [--jobs=N] [--replications=K] [--seed=S]
 //         [--buffers=a,b,c] [--warmup=SECS] [--duration=SECS] [--progress]
+//         [--checkpoint-out=DIR | --checkpoint-in=DIR | --checkpoint-roundtrip]
+//         [--checkpoint-events=N] [--checkpoint-at=SECS]
 //
 // The CSV on stdout is bit-identical for a given --seed regardless of
-// --jobs; banners and progress go to stderr.
+// --jobs; banners and progress go to stderr.  With --checkpoint-roundtrip
+// every run is snapshotted and restored in-process, and the CSV must stay
+// byte-identical to a plain run — the CI replay job relies on that.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -50,11 +54,36 @@ int main(int argc, char** argv) {
   options.seed_mode = SeedMode::kSharedAcrossCases;
   options.progress = flags.get_bool("progress", false) ? &std::cerr : nullptr;
 
+  const auto checkpoint_out = flags.get("checkpoint-out");
+  const auto checkpoint_in = flags.get("checkpoint-in");
+  const bool roundtrip = flags.get_bool("checkpoint-roundtrip", false);
+  if (static_cast<int>(checkpoint_out.has_value()) + static_cast<int>(checkpoint_in.has_value()) +
+          static_cast<int>(roundtrip) >
+      1) {
+    std::fprintf(stderr,
+                 "--checkpoint-out, --checkpoint-in and --checkpoint-roundtrip are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if (checkpoint_out) {
+    options.checkpoint.mode = SweepCheckpointMode::kWrite;
+    options.checkpoint.dir = *checkpoint_out;
+  } else if (checkpoint_in) {
+    options.checkpoint.mode = SweepCheckpointMode::kRead;
+    options.checkpoint.dir = *checkpoint_in;
+  } else if (roundtrip) {
+    options.checkpoint.mode = SweepCheckpointMode::kRoundtrip;
+  }
+  options.checkpoint.trigger.events =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-events", 0));
+  options.checkpoint.trigger.at = Time::from_seconds(flags.get_double("checkpoint-at", 0.0));
+
   const auto unknown = flags.unused();
   if (!unknown.empty()) {
     std::fprintf(stderr,
                  "unknown flag --%s (supported: --figure --jobs --replications --seed "
-                 "--buffers --warmup --duration --progress)\n",
+                 "--buffers --warmup --duration --progress --checkpoint-out --checkpoint-in "
+                 "--checkpoint-roundtrip --checkpoint-events --checkpoint-at)\n",
                  unknown.front().c_str());
     return 2;
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/checkpoint.h"
+
 namespace bufq::admission {
 
 AdmissionController::AdmissionController(Config config) : config_{config} {
@@ -168,6 +170,36 @@ std::vector<double> AdmissionController::hybrid_alphas() const {
     alphas[q] = groups_[q].term / s_value_;
   }
   return alphas;
+}
+
+void AdmissionController::save_state(CheckpointWriter& w) const {
+  w.begin_section("admission");
+  w.write_f64(reserved_rate_bps_);
+  w.write_f64(reserved_sigma_);
+  w.write_u64(admitted_);
+  w.write_u64(groups_.size());
+  for (const GroupAggregate& g : groups_) {
+    w.write_f64(g.sigma_bytes);
+    w.write_f64(g.rho_bytes_per_s);
+    w.write_f64(g.term);
+  }
+  w.write_f64(s_value_);
+  w.end_section();
+}
+
+void AdmissionController::restore_state(CheckpointReader& r) {
+  r.begin_section("admission");
+  reserved_rate_bps_ = r.read_f64();
+  reserved_sigma_ = r.read_f64();
+  admitted_ = static_cast<std::size_t>(r.read_u64());
+  groups_.assign(static_cast<std::size_t>(r.read_u64()), GroupAggregate{});
+  for (GroupAggregate& g : groups_) {
+    g.sigma_bytes = r.read_f64();
+    g.rho_bytes_per_s = r.read_f64();
+    g.term = r.read_f64();
+  }
+  s_value_ = r.read_f64();
+  r.end_section();
 }
 
 }  // namespace bufq::admission

@@ -27,6 +27,11 @@
 #include "obs/metrics.h"
 #include "util/units.h"
 
+namespace bufq {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace bufq
+
 namespace bufq::admission {
 
 enum class Scheme {
@@ -82,6 +87,11 @@ class AdmissionController {
   [[nodiscard]] double utilization() const { return reserved_rate_bps_ / config_.link_rate.bps(); }
   [[nodiscard]] std::size_t admitted_count() const { return admitted_; }
   [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Checkpointable: running aggregates only — the Config is scenario
+  /// input and is covered by the scenario fingerprint instead.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   struct GroupAggregate {

@@ -1,9 +1,11 @@
 #include "admission/dynamic_manager.h"
 
+
 #include <algorithm>
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 
 namespace bufq::admission {
 
@@ -109,6 +111,23 @@ std::int64_t DynamicBufferManager::occupancy(FlowId flow) const {
   assert(flow >= 0);
   const auto slot = static_cast<std::uint32_t>(flow);
   return table_.active(slot) ? table_.occupancy(slot) : 0;
+}
+
+
+void DynamicBufferManager::save_state(CheckpointWriter& w) const {
+  w.begin_section("bm.dynamic");
+  w.write_i64(total_);
+  w.write_i64(holes_);
+  w.write_i64(headroom_);
+  w.end_section();
+}
+
+void DynamicBufferManager::restore_state(CheckpointReader& r) {
+  r.begin_section("bm.dynamic");
+  total_ = r.read_i64();
+  holes_ = r.read_i64();
+  headroom_ = r.read_i64();
+  r.end_section();
 }
 
 }  // namespace bufq::admission

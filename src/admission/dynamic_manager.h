@@ -44,6 +44,11 @@ class DynamicBufferManager final : public BufferManager {
   [[nodiscard]] std::int64_t holes() const { return holes_; }
   [[nodiscard]] std::int64_t headroom() const { return headroom_; }
 
+  /// Checkpointable: totals and pool state — per-flow occupancy lives in
+  /// the FlowTable, which checkpoints itself.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void check_pools(FlowId flow, Time now) const;
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 
 namespace bufq::admission {
 
@@ -71,6 +72,41 @@ void FlowTable::teardown(FlowHandle handle) {
 bool FlowTable::valid(FlowHandle handle) const {
   return handle.slot < generation_.size() && generation_[handle.slot] == handle.generation &&
          (handle.generation & 1u) != 0;
+}
+
+void FlowTable::save_state(CheckpointWriter& w) const {
+  w.begin_section("flow_table");
+  w.write_i64_vector(occupancy_);
+  w.write_i64_vector(threshold_);
+  w.write_i64_vector(sigma_bytes_);
+  w.write_u64(rho_bps_.size());
+  for (const double rho : rho_bps_) w.write_f64(rho);
+  w.write_u64(generation_.size());
+  for (const std::uint32_t g : generation_) w.write_u32(g);
+  w.write_u64(free_slots_.size());
+  for (const std::uint32_t s : free_slots_) w.write_u32(s);
+  w.write_u64(active_count_);
+  w.end_section();
+}
+
+void FlowTable::restore_state(CheckpointReader& r) {
+  r.begin_section("flow_table");
+  occupancy_ = r.read_i64_vector();
+  threshold_ = r.read_i64_vector();
+  sigma_bytes_ = r.read_i64_vector();
+  rho_bps_.assign(static_cast<std::size_t>(r.read_u64()), 0.0);
+  for (double& rho : rho_bps_) rho = r.read_f64();
+  generation_.assign(static_cast<std::size_t>(r.read_u64()), 0);
+  for (std::uint32_t& g : generation_) g = r.read_u32();
+  free_slots_.assign(static_cast<std::size_t>(r.read_u64()), 0);
+  for (std::uint32_t& s : free_slots_) s = r.read_u32();
+  active_count_ = static_cast<std::size_t>(r.read_u64());
+  r.end_section();
+  if (occupancy_.size() != generation_.size() || threshold_.size() != generation_.size() ||
+      sigma_bytes_.size() != generation_.size() || rho_bps_.size() != generation_.size()) {
+    throw CheckpointFormatError("flow table array sizes disagree");
+  }
+  resident_metric_.set(static_cast<std::int64_t>(active_count_));
 }
 
 }  // namespace bufq::admission

@@ -23,6 +23,11 @@
 #include "sim/packet.h"
 #include "util/units.h"
 
+namespace bufq {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace bufq
+
 namespace bufq::admission {
 
 /// Reference to an admitted flow: slot index plus the generation the slot
@@ -75,6 +80,12 @@ class FlowTable {
   /// Bytes of dense per-flow state: occupancy + threshold + envelope
   /// (sigma, rho) + generation + free-list entry.  This is the number the
   /// scalability bench reports against WFQ's per-flow footprint.
+  /// Checkpointable: every per-slot array, the free list (order matters —
+  /// LIFO recycling is part of the deterministic trajectory), and the
+  /// active count.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
+
   [[nodiscard]] static constexpr std::size_t bytes_per_flow() {
     return sizeof(std::int64_t)   // occupancy counter
            + sizeof(std::int64_t) // threshold

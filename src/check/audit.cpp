@@ -1,6 +1,9 @@
 #include "check/audit.h"
 
+
 #include <cassert>
+
+#include "sim/checkpoint.h"
 
 namespace bufq::check {
 
@@ -81,6 +84,23 @@ void AuditedBufferManager::full_audit(Time now) const {
                   static_cast<double>(inner_.total_occupancy()),
                   "sum of per-flow occupancies != reported total"});
   }
+}
+
+
+void AuditedBufferManager::save_state(CheckpointWriter& w) const {
+  w.begin_section("bm.audit");
+  w.write_i64_vector(shadow_flow_);
+  w.write_i64(shadow_total_);
+  w.write_u64(audits_run_);
+  w.end_section();
+}
+
+void AuditedBufferManager::restore_state(CheckpointReader& r) {
+  r.begin_section("bm.audit");
+  shadow_flow_ = r.read_i64_vector();
+  shadow_total_ = r.read_i64();
+  audits_run_ = r.read_u64();
+  r.end_section();
 }
 
 }  // namespace bufq::check

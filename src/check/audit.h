@@ -50,6 +50,11 @@ class AuditedBufferManager final : public BufferManager {
 
   static constexpr std::uint64_t kFullAuditPeriod = 1024;
 
+  /// Checkpointable: the shadow accounting and audit counter only — the
+  /// wrapped manager is externally owned and checkpoints itself.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   /// O(1) cross-check of the flow touched by the last operation.
   void verify(FlowId flow, Time now);

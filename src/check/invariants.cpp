@@ -120,6 +120,12 @@ void InvariantChecker::clear() {
   stored_.clear();
 }
 
+void InvariantChecker::restore_tallies(std::uint64_t checks_run, std::uint64_t violations) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  checks_run_.store(checks_run, std::memory_order_relaxed);
+  violation_count_ = violations;
+}
+
 void InvariantChecker::set_handler(Handler handler) {
   const std::lock_guard<std::mutex> lock{mu_};
   handler_ = std::move(handler);

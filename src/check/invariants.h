@@ -110,6 +110,13 @@ class InvariantChecker {
   [[nodiscard]] std::uint64_t violation_count() const;
   [[nodiscard]] std::vector<Violation> violations() const;
 
+  /// Overwrites the tallies with checkpointed values — restore only,
+  /// applied *after* components rebuild so any checks that fired during
+  /// reconstruction are superseded by the authoritative counts.  Stored
+  /// Violation records are not checkpointed (a run that checkpoints
+  /// cleanly has none; a violating run already failed).
+  void restore_tallies(std::uint64_t checks_run, std::uint64_t violations);
+
   /// Multi-line human-readable report of the stored violations; empty
   /// string when the run was clean.
   [[nodiscard]] std::string report_text() const;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -42,6 +43,32 @@ void AccountingBufferManager::account_release(FlowId flow, std::int64_t bytes, T
              static_cast<double>(total_), 0.0, "release drove total occupancy negative");
   static_cast<void>(now);
 }
+
+void AccountingBufferManager::save_state(CheckpointWriter& w) const {
+  w.begin_section("bm");
+  w.write_i64_vector(per_flow_);
+  w.write_i64(total_);
+  w.write_u64(admits_);
+  save_extra(w);
+  w.end_section();
+}
+
+void AccountingBufferManager::restore_state(CheckpointReader& r) {
+  r.begin_section("bm");
+  std::vector<std::int64_t> per_flow = r.read_i64_vector();
+  if (per_flow.size() != per_flow_.size()) {
+    throw CheckpointFormatError("buffer-manager flow count mismatch on restore");
+  }
+  per_flow_ = std::move(per_flow);
+  total_ = r.read_i64();
+  admits_ = r.read_u64();
+  restore_extra(r);
+  r.end_section();
+}
+
+void AccountingBufferManager::save_extra(CheckpointWriter&) const {}
+
+void AccountingBufferManager::restore_extra(CheckpointReader&) {}
 
 TailDropManager::TailDropManager(ByteSize capacity, std::size_t flow_count)
     : AccountingBufferManager{capacity, flow_count} {}

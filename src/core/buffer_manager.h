@@ -14,6 +14,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class BufferManager {
  public:
   virtual ~BufferManager() = default;
@@ -30,6 +33,13 @@ class BufferManager {
   [[nodiscard]] virtual std::int64_t occupancy(FlowId flow) const = 0;
   [[nodiscard]] virtual std::int64_t total_occupancy() const = 0;
   [[nodiscard]] virtual ByteSize capacity() const = 0;
+
+  /// Checkpointable protocol (see sim/checkpoint.h): occupancy accounting
+  /// and any scheme-specific state (holes/headroom, RED averages, ...).
+  /// Restore must not re-record metrics — the engine overwrites the
+  /// registry afterwards with the checkpointed snapshot.
+  virtual void save_state(CheckpointWriter& w) const = 0;
+  virtual void restore_state(CheckpointReader& r) = 0;
 };
 
 /// Shared per-flow accounting used by every concrete manager.
@@ -42,7 +52,19 @@ class AccountingBufferManager : public BufferManager {
   [[nodiscard]] ByteSize capacity() const override { return capacity_; }
   [[nodiscard]] std::size_t flow_count() const { return per_flow_.size(); }
 
+  /// Serializes the shared accounting (per-flow occupancy, total, admit
+  /// count — the admit count drives 1-in-16 metric sampling, so it must be
+  /// exact) then delegates to save_extra()/restore_extra() for
+  /// scheme-specific state.
+  void save_state(CheckpointWriter& w) const final;
+  void restore_state(CheckpointReader& r) final;
+
  protected:
+  /// Hooks for subclasses with state beyond the accounting (holes,
+  /// headroom, RED averages, strikes...).  Defaults write/read nothing.
+  virtual void save_extra(CheckpointWriter& w) const;
+  virtual void restore_extra(CheckpointReader& r);
+
   /// `now` is forwarded into the invariant audit so violation reports carry
   /// the simulated time of the offending operation.
   void account_admit(FlowId flow, std::int64_t bytes, Time now);

@@ -1,6 +1,9 @@
 #include "core/composite.h"
 
+
 #include <cassert>
+
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -54,6 +57,15 @@ ByteSize CompositeBufferManager::capacity() const {
 const BufferManager& CompositeBufferManager::queue_manager(std::size_t queue) const {
   assert(queue < managers_.size());
   return *managers_[queue];
+}
+
+
+void CompositeBufferManager::save_state(CheckpointWriter& w) const {
+  for (const auto& manager : managers_) manager->save_state(w);
+}
+
+void CompositeBufferManager::restore_state(CheckpointReader& r) {
+  for (const auto& manager : managers_) manager->restore_state(r);
 }
 
 }  // namespace bufq

@@ -32,6 +32,10 @@ class CompositeBufferManager final : public BufferManager {
   [[nodiscard]] const BufferManager& queue_manager(std::size_t queue) const;
   [[nodiscard]] std::size_t queue_count() const { return managers_.size(); }
 
+  /// Checkpointable: delegates to every per-queue manager in queue order.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   [[nodiscard]] BufferManager& owner(FlowId flow);
   [[nodiscard]] const BufferManager& owner(FlowId flow) const;

@@ -1,6 +1,9 @@
 #include "core/epd.h"
 
+
 #include <cassert>
+
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -81,6 +84,44 @@ std::optional<Packet> FrameFifoScheduler::dequeue(Time now) {
   backlog_bytes_ -= packet.size_bytes;
   manager_.release(packet.flow, packet.size_bytes, now);
   return packet;
+}
+
+
+void EpdManager::save_state(CheckpointWriter& w) const {
+  w.begin_section("bm.epd");
+  w.write_i64_vector(last_seen_frame_);
+  w.write_i64_vector(doomed_frame_);
+  w.write_u64(frames_refused_);
+  w.write_u64(frames_partial_);
+  w.end_section();
+  inner_->save_state(w);
+}
+
+void EpdManager::restore_state(CheckpointReader& r) {
+  r.begin_section("bm.epd");
+  last_seen_frame_ = r.read_i64_vector();
+  doomed_frame_ = r.read_i64_vector();
+  frames_refused_ = r.read_u64();
+  frames_partial_ = r.read_u64();
+  r.end_section();
+  inner_->restore_state(r);
+}
+
+void FrameFifoScheduler::save_state(CheckpointWriter& w) const {
+  w.begin_section("sched.frame_fifo");
+  w.write_u64(queue_.size());
+  for (const Packet& packet : queue_) save_packet(w, packet);
+  w.write_i64(backlog_bytes_);
+  w.end_section();
+}
+
+void FrameFifoScheduler::restore_state(CheckpointReader& r) {
+  r.begin_section("sched.frame_fifo");
+  queue_.clear();
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) queue_.push_back(load_packet(r));
+  backlog_bytes_ = r.read_i64();
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -52,6 +52,10 @@ class EpdManager final : public BufferManager {
   [[nodiscard]] std::uint64_t frames_refused_early() const { return frames_refused_; }
   [[nodiscard]] std::uint64_t frames_partially_dropped() const { return frames_partial_; }
 
+  /// Checkpointable: frame tracking state plus the wrapped inner manager.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   std::unique_ptr<BufferManager> inner_;
   ByteSize threshold_;
@@ -78,6 +82,11 @@ class FrameFifoScheduler final : public QueueDiscipline {
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
   void set_drop_handler(DropHandler handler) override { on_drop_ = std::move(handler); }
+
+  /// Checkpointable: the queued packets and backlog byte count (the
+  /// EpdManager serializes its own state separately).
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
 
  private:
   EpdManager& manager_;

@@ -1,7 +1,10 @@
 #include "core/red.h"
 
+
 #include <algorithm>
 #include <cassert>
+
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -113,6 +116,38 @@ void FredManager::release(FlowId flow, std::int64_t bytes, Time now) {
     assert(active_flows_ > 0);
     --active_flows_;
   }
+}
+
+
+void RedManager::save_extra(CheckpointWriter& w) const {
+  save_rng(w, rng_);
+  w.write_f64(avg_);
+  w.write_u64(since_last_drop_);
+}
+
+void RedManager::restore_extra(CheckpointReader& r) {
+  load_rng(r, rng_);
+  avg_ = r.read_f64();
+  since_last_drop_ = r.read_u64();
+}
+
+void FredManager::save_extra(CheckpointWriter& w) const {
+  save_rng(w, rng_);
+  w.write_f64(avg_);
+  w.write_u64(strikes_.size());
+  for (int s : strikes_) w.write_i64(s);
+  w.write_u64(active_flows_);
+}
+
+void FredManager::restore_extra(CheckpointReader& r) {
+  load_rng(r, rng_);
+  avg_ = r.read_f64();
+  const std::uint64_t count = r.read_u64();
+  if (count != strikes_.size()) {
+    throw CheckpointFormatError("FRED strike table size mismatch on restore");
+  }
+  for (int& s : strikes_) s = static_cast<int>(r.read_i64());
+  active_flows_ = r.read_u64();
 }
 
 }  // namespace bufq

@@ -48,6 +48,8 @@ class RedManager final : public AccountingBufferManager {
 
  private:
   void update_average();
+  void save_extra(CheckpointWriter& w) const override;
+  void restore_extra(CheckpointReader& r) override;
 
   RedParams params_;
   Rng rng_;
@@ -76,6 +78,9 @@ class FredManager final : public AccountingBufferManager {
   [[nodiscard]] double fair_share() const;
 
  private:
+  void save_extra(CheckpointWriter& w) const override;
+  void restore_extra(CheckpointReader& r) override;
+
   FredParams params_;
   Rng rng_;
   double avg_{0.0};

@@ -1,9 +1,11 @@
 #include "core/selective_sharing.h"
 
+
 #include <algorithm>
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -99,6 +101,17 @@ void SelectiveSharingManager::check_pools(FlowId flow, Time now) const {
              "non-adaptive flow sits above its threshold");
   static_cast<void>(flow);
   static_cast<void>(now);
+}
+
+
+void SelectiveSharingManager::save_extra(CheckpointWriter& w) const {
+  w.write_i64(holes_);
+  w.write_i64(headroom_);
+}
+
+void SelectiveSharingManager::restore_extra(CheckpointReader& r) {
+  holes_ = r.read_i64();
+  headroom_ = r.read_i64();
 }
 
 }  // namespace bufq

@@ -53,6 +53,8 @@ class SelectiveSharingManager final : public AccountingBufferManager {
  private:
   void init_pools();
   void check_pools(FlowId flow, Time now) const;
+  void save_extra(CheckpointWriter& w) const override;
+  void restore_extra(CheckpointReader& r) override;
 
   std::vector<std::int64_t> thresholds_;
   std::vector<SharingClass> classes_;

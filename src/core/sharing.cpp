@@ -1,9 +1,11 @@
 #include "core/sharing.h"
 
+
 #include <algorithm>
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 
 namespace bufq {
 
@@ -93,6 +95,17 @@ void BufferSharingManager::check_pools(FlowId flow, Time now) const {
              "holes + headroom + occupancy no longer tile the buffer");
   static_cast<void>(flow);
   static_cast<void>(now);
+}
+
+
+void BufferSharingManager::save_extra(CheckpointWriter& w) const {
+  w.write_i64(holes_);
+  w.write_i64(headroom_);
+}
+
+void BufferSharingManager::restore_extra(CheckpointReader& r) {
+  holes_ = r.read_i64();
+  headroom_ = r.read_i64();
 }
 
 }  // namespace bufq

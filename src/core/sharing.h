@@ -60,6 +60,10 @@ class BufferSharingManager final : public AccountingBufferManager {
  private:
   void init_pools();
   void check_pools(FlowId flow, Time now) const;
+  /// Checkpoint hooks: holes/headroom raw fields only (no gauge updates —
+  /// the engine overwrites the metrics registry after restore).
+  void save_extra(CheckpointWriter& w) const override;
+  void restore_extra(CheckpointReader& r) override;
 
   std::vector<std::int64_t> thresholds_;
   ByteSize max_headroom_;

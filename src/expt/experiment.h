@@ -4,8 +4,10 @@
 // Every simulation figure of the paper is a sweep over these runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "core/flow_spec.h"
@@ -117,5 +119,46 @@ struct ExperimentResult {
 
 /// Runs one experiment to completion.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// When run_experiment_with_checkpoint snapshots.  `events` > 0 wins:
+/// checkpoint once that many events (lifetime count) have dispatched.
+/// Otherwise the snapshot is taken at simulated time `at`; Time::zero()
+/// defaults to the end of warmup.  Either way the trigger never schedules
+/// an event of its own, so the trajectory is identical to an untriggered
+/// run.
+struct CheckpointTrigger {
+  std::uint64_t events{0};
+  Time at{Time::zero()};
+};
+
+/// A completed run plus the mid-run snapshot it took along the way.
+struct CheckpointedRun {
+  ExperimentResult result;
+  /// Serialized checkpoint (see sim/checkpoint.h for the format).
+  std::vector<std::byte> checkpoint;
+  /// Where the snapshot was taken.
+  std::uint64_t events_at_checkpoint{0};
+  Time time_at_checkpoint{Time::zero()};
+};
+
+/// Scenario fingerprint of a configuration: every field that shapes the
+/// event trajectory is mixed in, so restoring a checkpoint into a
+/// different scenario throws CheckpointScenarioError instead of silently
+/// diverging.  (The metrics_csv *pointer* is not mixed — only whether a
+/// time series is sampled, and at what period.)
+[[nodiscard]] std::uint64_t experiment_fingerprint(const ExperimentConfig& config);
+
+/// Runs the experiment to completion like run_experiment, but snapshots
+/// the entire simulation state when `trigger` fires.  The returned result
+/// is bit-identical to run_experiment(config).
+[[nodiscard]] CheckpointedRun run_experiment_with_checkpoint(
+    const ExperimentConfig& config, const CheckpointTrigger& trigger = {});
+
+/// Restores `checkpoint` into a freshly built pipeline for `config` and
+/// runs to completion.  The result is bit-identical to the run that wrote
+/// the checkpoint.  Throws a CheckpointError subclass on corruption,
+/// version skew, or a scenario mismatch.
+[[nodiscard]] ExperimentResult resume_experiment(const ExperimentConfig& config,
+                                                 std::span<const std::byte> checkpoint);
 
 }  // namespace bufq

@@ -7,7 +7,10 @@
 #include <exception>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
+#include "sim/checkpoint.h"
 #include "stats/replication.h"
 #include "util/annotations.h"
 #include "util/csv.h"
@@ -43,6 +46,27 @@ BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never f
 double seconds_since(std::chrono::steady_clock::time_point start) {
   BUFQ_LINT_SUPPRESS("determinism-wall-clock", "progress/ETA display only; never feeds a result CSV");
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// The built-in run_experiment path under a checkpoint policy.
+ExperimentResult run_checkpointed(const ExperimentConfig& config,
+                                  const SweepCheckpointRequest& request) {
+  switch (request.mode) {
+    case SweepCheckpointMode::kOff:
+      return run_experiment(config);
+    case SweepCheckpointMode::kRoundtrip: {
+      const CheckpointedRun run = run_experiment_with_checkpoint(config, request.trigger);
+      return resume_experiment(config, run.checkpoint);
+    }
+    case SweepCheckpointMode::kWrite: {
+      CheckpointedRun run = run_experiment_with_checkpoint(config, request.trigger);
+      write_checkpoint_file(request.path, run.checkpoint);
+      return std::move(run.result);
+    }
+    case SweepCheckpointMode::kRead:
+      return resume_experiment(config, read_checkpoint_file(request.path));
+  }
+  return run_experiment(config);  // unreachable
 }
 
 }  // namespace
@@ -89,14 +113,29 @@ SweepResult run_sweep(std::vector<SweepCase> cases, const MetricExtractor& extra
     slot.seed = options.seed_mode == SeedMode::kSharedAcrossCases
                     ? seq.derive(replication)
                     : seq.derive(case_index, replication);
+    SweepCheckpointRequest request;
+    request.mode = options.checkpoint.mode;
+    request.trigger = options.checkpoint.trigger;
+    if (request.mode == SweepCheckpointMode::kWrite ||
+        request.mode == SweepCheckpointMode::kRead) {
+      request.path = options.checkpoint.dir + "/ckpt_case" + std::to_string(case_index) +
+                     "_rep" + std::to_string(replication) + ".bufq";
+    }
     try {
       ExperimentResult result;
-      if (cases[case_index].runner) {
-        result = cases[case_index].runner(slot.seed);
+      const SweepCase& item = cases[case_index];
+      if (request.mode != SweepCheckpointMode::kOff && item.checkpoint_runner) {
+        result = item.checkpoint_runner(slot.seed, request);
+      } else if (item.runner) {
+        if (request.mode != SweepCheckpointMode::kOff) {
+          throw std::runtime_error("case '" + item.label +
+                                   "' has a custom runner without checkpoint support");
+        }
+        result = item.runner(slot.seed);
       } else {
-        ExperimentConfig config = cases[case_index].config;
+        ExperimentConfig config = item.config;
         config.seed = slot.seed;
-        result = run_experiment(config);
+        result = run_checkpointed(config, request);
       }
       slot.metrics = extract(result);
       slot.per_flow = result.per_flow;

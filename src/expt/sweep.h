@@ -25,6 +25,27 @@
 
 namespace bufq {
 
+/// How a sweep interacts with checkpoints (SweepOptions::checkpoint).
+enum class SweepCheckpointMode {
+  kOff,        ///< plain runs
+  kRoundtrip,  ///< snapshot mid-run, restore into a fresh pipeline, and
+               ///< return the *resumed* result — with a deterministic
+               ///< checkpoint layer the CSV is byte-identical to kOff
+  kWrite,      ///< snapshot mid-run into SweepCheckpoint::dir, return the
+               ///< uninterrupted result (warm-start producer)
+  kRead,       ///< restore every run from SweepCheckpoint::dir instead of
+               ///< replaying the warmup (warm-start consumer)
+};
+
+/// What the engine asks of one (case, replication) run when checkpointing
+/// is on; custom runners receive it via SweepCase::checkpoint_runner.
+struct SweepCheckpointRequest {
+  SweepCheckpointMode mode{SweepCheckpointMode::kOff};
+  CheckpointTrigger trigger;
+  /// Checkpoint file of this run (kWrite / kRead); empty otherwise.
+  std::string path;
+};
+
 /// One grid point: a labeled ExperimentConfig plus the parameter columns
 /// echoed into the result row.  The config's `seed` field is ignored —
 /// the engine derives every run's seed itself.
@@ -41,6 +62,13 @@ struct SweepCase {
   /// runner's result depends only on the seed.  Must be thread safe across
   /// concurrent invocations (called from pool workers).
   std::function<ExperimentResult(std::uint64_t seed)> runner;
+  /// Checkpoint-aware companion to `runner`, called instead of it when
+  /// SweepOptions::checkpoint is active.  Must honour the request's mode
+  /// the way the built-in run_experiment path does.  A case with a plain
+  /// `runner` but no checkpoint_runner fails its runs loudly under an
+  /// active checkpoint policy rather than silently skipping the snapshot.
+  std::function<ExperimentResult(std::uint64_t seed, const SweepCheckpointRequest& request)>
+      checkpoint_runner;
 };
 
 /// How replication sub-seeds relate across cases.
@@ -63,6 +91,19 @@ struct SweepProgress {
   double eta_s{0.0};
 };
 
+/// Sweep-wide checkpoint policy: every (case, replication) run snapshots
+/// (or restores) per `mode`.  File names under `dir` are derived from the
+/// case and replication indices, so kWrite then kRead across two sweeps of
+/// the same grid pair up naturally.
+struct SweepCheckpoint {
+  SweepCheckpointMode mode{SweepCheckpointMode::kOff};
+  /// When to snapshot (see CheckpointTrigger): an event count, a simulated
+  /// time, or — both defaulted — the end of warmup.
+  CheckpointTrigger trigger;
+  /// Directory for kWrite / kRead checkpoint files.
+  std::string dir;
+};
+
 /// Engine knobs: parallelism, replication count, and the seed policy.
 struct SweepOptions {
   /// Worker threads; <= 1 runs inline on the calling thread (the serial
@@ -80,6 +121,8 @@ struct SweepOptions {
   /// Progress goes to a terminal, never into the CSV, so it does not
   /// perturb the bit-identical output contract.
   std::ostream* progress{nullptr};
+  /// Checkpoint policy; kOff by default.
+  SweepCheckpoint checkpoint;
 };
 
 /// Mean / sample stddev / 95% Student-t half-width over the replications.

@@ -10,6 +10,7 @@
 #include "core/threshold.h"
 #include "sched/fifo.h"
 #include "sched/wfq.h"
+#include "sim/checkpoint.h"
 #include "util/annotations.h"
 
 namespace bufq::fabric {
@@ -146,6 +147,22 @@ OutputPort& Fabric::port_for_link(LinkId link) {
 double Fabric::delay_bound_s(FlowId flow) const {
   assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_bound_.size());
   return flow_bound_[static_cast<std::size_t>(flow)].to_seconds();
+}
+
+void Fabric::save_state(CheckpointWriter& w) const {
+  stats_.save_state(w);
+  delays_.save_state(w);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->save_state(w, n);
+  }
+}
+
+void Fabric::restore_state(CheckpointReader& r) {
+  stats_.restore_state(r);
+  delays_.restore_state(r);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->restore_state(r, n);
+  }
 }
 
 BUFQ_HOT void Fabric::EgressSink::accept(const Packet& packet) {

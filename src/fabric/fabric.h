@@ -87,6 +87,11 @@ class Fabric {
   /// Planner delay bound for `flow` (seconds); 0 for unrouted flows.
   [[nodiscard]] double delay_bound_s(FlowId flow) const;
 
+  /// Checkpointable: end-to-end stats/delays, then every node (and its
+  /// ports, managers, disciplines and links) in NodeId order.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
+
  private:
   /// Terminates traffic at one host: records delivery, delay and the
   /// end-to-end bound audit.

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 #include "traffic/sources.h"
 #include "util/annotations.h"
@@ -129,98 +131,262 @@ FabricScenario build_fabric_scenario(const FabricConfig& config) {
   return sc;
 }
 
-ExperimentResult run_fabric_experiment(const FabricConfig& config) {
-  assert(config.duration > Time::zero());
+namespace {
 
-  // Same confinement discipline as expt::run_experiment: a run-private
-  // checker and registry, constructed before any instrumented component.
-  const check::ScopedChecker run_checker;
-  obs::ScopedMetrics run_metrics;
+/// Fabric analogue of expt's ExperimentEngine: the whole scenario as an
+/// object so checkpoints can walk it in registry order.  Construction
+/// produces the exact event sequence the old free function did.
+class FabricEngine {
+ public:
+  explicit FabricEngine(const FabricConfig& config)
+      : config_{config},
+        sc_{build_fabric_scenario(config)},
+        fabric_{sim_, sc_.topo, sc_.routes, sc_.plan, sc_.bindings, config.scheme},
+        master_{config.seed},
+        horizon_{config.warmup + config.duration} {
+    assert(config.duration > Time::zero());
+    fabric_.set_measure_from(config.warmup);
 
-  FabricScenario sc = build_fabric_scenario(config);
-  Simulator sim;
-  Fabric fabric{sim, sc.topo, sc.routes, sc.plan, sc.bindings, config.scheme};
-  fabric.set_measure_from(config.warmup);
+    // Export the planner's composed bound so sweep extractors (and the
+    // bench JSON) can compare measured p100 against it without
+    // re-planning.
+    run_metrics_.registry()
+        .gauge("fabric.premium_delay_bound_us")
+        .set(std::llround(sc_.plan.flows[0].delay_bound_s * 1e6));
+    run_metrics_.registry().gauge("fabric.plan_feasible").set(sc_.plan.feasible ? 1 : 0);
 
-  // Export the planner's composed bound so sweep extractors (and the
-  // bench JSON) can compare measured p100 against it without re-planning.
-  run_metrics.registry()
-      .gauge("fabric.premium_delay_bound_us")
-      .set(std::llround(sc.plan.flows[0].delay_bound_s * 1e6));
-  run_metrics.registry()
-      .gauge("fabric.plan_feasible")
-      .set(sc.plan.feasible ? 1 : 0);
-
-  Rng master{config.seed};
-  std::vector<std::unique_ptr<Source>> sources;
-  sources.reserve(sc.bindings.size());
-  sources.push_back(std::make_unique<CbrSource>(sim, fabric.ingress(sc.premium), sc.premium,
-                                                config.premium_rate, config.packet_bytes));
-  for (const FlowId flow : sc.cross) {
-    if (config.topology == FabricTopologyKind::kParkingLot) {
-      // The chain analogue of Example 1's greedy flow: full-load arrivals
-      // at every hop, so the premium reservation is what keeps it lossless.
-      sources.push_back(std::make_unique<GreedySource>(sim, fabric.ingress(flow), flow,
-                                                       config.link_rate * config.load,
-                                                       config.packet_bytes));
-    } else {
-      MarkovOnOffSource::Params p;
-      p.flow = flow;
-      p.peak_rate = config.link_rate;
-      // 50 KB mean bursts at line rate; duty cycle = load / 2 so each pair
-      // averages load * link_rate / 2.
-      const double mean_on_s = 50e3 * 8.0 / config.link_rate.bps();
-      const double duty = std::clamp(config.load / 2.0, 0.01, 0.95);
-      p.mean_on = Time::from_seconds(mean_on_s);
-      p.mean_off = Time::from_seconds(mean_on_s * (1.0 - duty) / duty);
-      p.packet_bytes = config.packet_bytes;
-      sources.push_back(std::make_unique<MarkovOnOffSource>(
-          sim, fabric.ingress(flow), p, master.fork(static_cast<std::uint64_t>(flow))));
+    sources_.reserve(sc_.bindings.size());
+    sources_.push_back(std::make_unique<CbrSource>(sim_, fabric_.ingress(sc_.premium),
+                                                   sc_.premium, config.premium_rate,
+                                                   config.packet_bytes));
+    for (const FlowId flow : sc_.cross) {
+      if (config.topology == FabricTopologyKind::kParkingLot) {
+        // The chain analogue of Example 1's greedy flow: full-load
+        // arrivals at every hop, so the premium reservation is what keeps
+        // it lossless.
+        sources_.push_back(std::make_unique<GreedySource>(sim_, fabric_.ingress(flow), flow,
+                                                          config.link_rate * config.load,
+                                                          config.packet_bytes));
+      } else {
+        MarkovOnOffSource::Params p;
+        p.flow = flow;
+        p.peak_rate = config.link_rate;
+        // 50 KB mean bursts at line rate; duty cycle = load / 2 so each
+        // pair averages load * link_rate / 2.
+        const double mean_on_s = 50e3 * 8.0 / config.link_rate.bps();
+        const double duty = std::clamp(config.load / 2.0, 0.01, 0.95);
+        p.mean_on = Time::from_seconds(mean_on_s);
+        p.mean_off = Time::from_seconds(mean_on_s * (1.0 - duty) / duty);
+        p.packet_bytes = config.packet_bytes;
+        sources_.push_back(std::make_unique<MarkovOnOffSource>(
+            sim_, fabric_.ingress(flow), p, master_.fork(static_cast<std::uint64_t>(flow))));
+      }
     }
+    for (const auto& source : sources_) source->start();
+
+    warmup_pending_ = true;
+    const auto snap_warmup = [this] {
+      at_warmup_ = fabric_.stats().snapshot();
+      warmup_pending_ = false;
+    };
+    static_assert(InlineAction::stores_inline<decltype(snap_warmup)>,
+                  "warmup snapshot event must not allocate");
+    warmup_seq_ = sim_.at(config.warmup, snap_warmup);
   }
-  for (const auto& source : sources) source->start();
 
-  std::vector<FlowCounters> at_warmup;
-  const auto snap_warmup = [&] { at_warmup = fabric.stats().snapshot(); };
-  static_assert(InlineAction::stores_inline<decltype(snap_warmup)>,
-                "warmup snapshot event must not allocate");
-  sim.at(config.warmup, snap_warmup);
-
-  const Time horizon = config.warmup + config.duration;
-  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
-  const auto wall_start = std::chrono::steady_clock::now();
-  sim.run_until(horizon);
-  BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
-  const auto wall_end = std::chrono::steady_clock::now();
-  const auto wall_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start).count();
-  run_metrics.registry().counter("sim.wall_ns").add(static_cast<std::uint64_t>(wall_ns));
-
-  const auto at_end = fabric.stats().snapshot();
-  ExperimentResult result;
-  result.interval = config.duration;
-  result.checks_run = run_checker.checker().checks_run();
-  result.check_violations = run_checker.checker().violation_count();
-  result.metrics = run_metrics.registry().snapshot();
-  result.per_flow.reserve(at_end.size());
-  for (std::size_t f = 0; f < at_end.size(); ++f) {
-    result.per_flow.push_back(at_end[f] - (f < at_warmup.size() ? at_warmup[f] : FlowCounters{}));
+  void run_to_trigger(const CheckpointTrigger& trigger) {
+    if (trigger.events > 0) {
+      sim_.run_events_until(trigger.events, horizon_);
+      return;
+    }
+    Time at = trigger.at == Time::zero() ? config_.warmup : trigger.at;
+    if (at > horizon_) at = horizon_;
+    sim_.run_until(at);
   }
-  if (config.record_delays) {
-    const DelayRecorder& delays = fabric.delays();
-    result.delays.reserve(sc.bindings.size());
-    for (std::size_t f = 0; f < sc.bindings.size(); ++f) {
-      const auto flow = static_cast<FlowId>(f);
-      result.delays.push_back(DelaySummary{
-          .mean_s = delays.mean_delay(flow).to_seconds(),
-          .max_s = delays.max_delay(flow).to_seconds(),
-          .p50_s = delays.quantile(flow, 0.50).to_seconds(),
-          .p99_s = delays.quantile(flow, 0.99).to_seconds(),
-          .packets = delays.count(flow),
+
+  [[nodiscard]] std::uint64_t events_processed() const { return sim_.events_processed(); }
+  [[nodiscard]] Time now() const { return sim_.now(); }
+
+  [[nodiscard]] std::vector<std::byte> save() const {
+    CheckpointWriter w;
+    sim_.save_state(w);
+    fabric_.save_state(w);
+    for (const auto& source : sources_) source->save_state(w);
+
+    w.begin_section("fabric");
+    w.write_u64(at_warmup_.size());
+    for (const auto& c : at_warmup_) {
+      w.write_i64(c.offered_bytes);
+      w.write_i64(c.delivered_bytes);
+      w.write_i64(c.dropped_bytes);
+      w.write_u64(c.offered_packets);
+      w.write_u64(c.delivered_packets);
+      w.write_u64(c.dropped_packets);
+    }
+    w.write_bool(warmup_pending_);
+    w.write_u64(warmup_seq_);
+    w.end_section();
+
+    w.begin_section("registry");
+    save_registry_snapshot(w, run_metrics_.registry().snapshot());
+    w.end_section();
+
+    w.begin_section("checker");
+    w.write_u64(run_checker_.checker().checks_run());
+    w.write_u64(run_checker_.checker().violation_count());
+    w.end_section();
+
+    return w.finish(fabric_fingerprint(config_));
+  }
+
+  void restore(std::span<const std::byte> blob) {
+    CheckpointReader r{blob};
+    r.require_scenario(fabric_fingerprint(config_));
+
+    const std::uint64_t expected_pending = sim_.restore_state(r);
+    fabric_.restore_state(r);
+    for (const auto& source : sources_) source->restore_state(r);
+
+    r.begin_section("fabric");
+    at_warmup_.assign(static_cast<std::size_t>(r.read_u64()), FlowCounters{});
+    for (auto& c : at_warmup_) {
+      c.offered_bytes = r.read_i64();
+      c.delivered_bytes = r.read_i64();
+      c.dropped_bytes = r.read_i64();
+      c.offered_packets = r.read_u64();
+      c.delivered_packets = r.read_u64();
+      c.dropped_packets = r.read_u64();
+    }
+    warmup_pending_ = r.read_bool();
+    warmup_seq_ = r.read_u64();
+    r.end_section();
+    if (warmup_pending_) {
+      sim_.rearm(config_.warmup, warmup_seq_, [this] {
+        at_warmup_ = fabric_.stats().snapshot();
+        warmup_pending_ = false;
       });
     }
+
+    r.begin_section("registry");
+    run_metrics_.registry().restore(load_registry_snapshot(r));
+    r.end_section();
+
+    r.begin_section("checker");
+    const std::uint64_t checks_run = r.read_u64();
+    const std::uint64_t violations = r.read_u64();
+    r.end_section();
+    run_checker_.checker().restore_tallies(checks_run, violations);
+
+    if (!r.exhausted()) {
+      throw CheckpointFormatError("checkpoint has trailing bytes after the last section");
+    }
+    if (sim_.events_pending() != expected_pending) {
+      throw CheckpointError("restore re-armed " + std::to_string(sim_.events_pending()) +
+                            " events, checkpoint recorded " + std::to_string(expected_pending));
+    }
   }
-  return result;
+
+  [[nodiscard]] ExperimentResult finish() {
+    BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
+    const auto wall_start = std::chrono::steady_clock::now();
+    sim_.run_until(horizon_);
+    BUFQ_LINT_SUPPRESS("determinism-wall-clock", "sim.wall_ns is a wall-only metric excluded from the CSV determinism contract");
+    const auto wall_end = std::chrono::steady_clock::now();
+    const auto wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start).count();
+    run_metrics_.registry().counter("sim.wall_ns").add(static_cast<std::uint64_t>(wall_ns));
+
+    const auto at_end = fabric_.stats().snapshot();
+    ExperimentResult result;
+    result.interval = config_.duration;
+    result.checks_run = run_checker_.checker().checks_run();
+    result.check_violations = run_checker_.checker().violation_count();
+    result.metrics = run_metrics_.registry().snapshot();
+    result.per_flow.reserve(at_end.size());
+    for (std::size_t f = 0; f < at_end.size(); ++f) {
+      result.per_flow.push_back(at_end[f] -
+                                (f < at_warmup_.size() ? at_warmup_[f] : FlowCounters{}));
+    }
+    if (config_.record_delays) {
+      const DelayRecorder& delays = fabric_.delays();
+      result.delays.reserve(sc_.bindings.size());
+      for (std::size_t f = 0; f < sc_.bindings.size(); ++f) {
+        const auto flow = static_cast<FlowId>(f);
+        result.delays.push_back(DelaySummary{
+            .mean_s = delays.mean_delay(flow).to_seconds(),
+            .max_s = delays.max_delay(flow).to_seconds(),
+            .p50_s = delays.quantile(flow, 0.50).to_seconds(),
+            .p99_s = delays.quantile(flow, 0.99).to_seconds(),
+            .packets = delays.count(flow),
+        });
+      }
+    }
+    return result;
+  }
+
+ private:
+  const FabricConfig& config_;
+  // Same confinement discipline as expt::run_experiment: a run-private
+  // checker and registry, constructed before any instrumented component.
+  check::ScopedChecker run_checker_;
+  obs::ScopedMetrics run_metrics_;
+  FabricScenario sc_;
+  Simulator sim_;
+  Fabric fabric_;
+  Rng master_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<FlowCounters> at_warmup_;
+  bool warmup_pending_{false};
+  std::uint64_t warmup_seq_{0};
+  Time horizon_;
+};
+
+}  // namespace
+
+std::uint64_t fabric_fingerprint(const FabricConfig& config) {
+  FingerprintHasher h;
+  h.mix_string("fabric");
+  h.mix_u64(static_cast<std::uint64_t>(config.topology));
+  h.mix_i64(config.size);
+  h.mix_u64(static_cast<std::uint64_t>(config.scheme.scheduler));
+  h.mix_u64(static_cast<std::uint64_t>(config.scheme.manager));
+  h.mix_i64(config.scheme.headroom.count());
+  h.mix_f64(config.scheme.dt_alpha);
+  h.mix_f64(config.link_rate.bps());
+  h.mix_i64(config.buffer.count());
+  h.mix_time(config.propagation);
+  h.mix_f64(config.load);
+  h.mix_f64(config.premium_rate.bps());
+  h.mix_time(config.warmup);
+  h.mix_time(config.duration);
+  h.mix_u64(config.seed);
+  h.mix_i64(config.packet_bytes);
+  h.mix_bool(config.record_delays);
+  return h.digest();
+}
+
+ExperimentResult run_fabric_experiment(const FabricConfig& config) {
+  FabricEngine engine{config};
+  return engine.finish();
+}
+
+CheckpointedRun run_fabric_experiment_with_checkpoint(const FabricConfig& config,
+                                                      const CheckpointTrigger& trigger) {
+  FabricEngine engine{config};
+  engine.run_to_trigger(trigger);
+  CheckpointedRun run;
+  run.checkpoint = engine.save();
+  run.events_at_checkpoint = engine.events_processed();
+  run.time_at_checkpoint = engine.now();
+  run.result = engine.finish();
+  return run;
+}
+
+ExperimentResult resume_fabric_experiment(const FabricConfig& config,
+                                          std::span<const std::byte> checkpoint) {
+  FabricEngine engine{config};
+  engine.restore(checkpoint);
+  return engine.finish();
 }
 
 std::map<std::string, double> fabric_metrics(const ExperimentResult& result) {
@@ -255,6 +421,26 @@ SweepCase fabric_sweep_case(std::string label,
     FabricConfig run = config;
     run.seed = seed;
     return run_fabric_experiment(run);
+  };
+  c.checkpoint_runner = [config](std::uint64_t seed, const SweepCheckpointRequest& request) {
+    FabricConfig run = config;
+    run.seed = seed;
+    switch (request.mode) {
+      case SweepCheckpointMode::kOff:
+        return run_fabric_experiment(run);
+      case SweepCheckpointMode::kRoundtrip: {
+        const CheckpointedRun ckpt = run_fabric_experiment_with_checkpoint(run, request.trigger);
+        return resume_fabric_experiment(run, ckpt.checkpoint);
+      }
+      case SweepCheckpointMode::kWrite: {
+        CheckpointedRun ckpt = run_fabric_experiment_with_checkpoint(run, request.trigger);
+        write_checkpoint_file(request.path, ckpt.checkpoint);
+        return std::move(ckpt.result);
+      }
+      case SweepCheckpointMode::kRead:
+        return resume_fabric_experiment(run, read_checkpoint_file(request.path));
+    }
+    return run_fabric_experiment(run);  // unreachable
   };
   return c;
 }

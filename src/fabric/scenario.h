@@ -84,6 +84,22 @@ struct FabricScenario {
 /// histogram.
 [[nodiscard]] ExperimentResult run_fabric_experiment(const FabricConfig& config);
 
+/// Scenario fingerprint mirroring experiment_fingerprint: every
+/// FabricConfig field that shapes the event trajectory.
+[[nodiscard]] std::uint64_t fabric_fingerprint(const FabricConfig& config);
+
+/// run_fabric_experiment with a mid-run snapshot, mirroring
+/// run_experiment_with_checkpoint (same CheckpointTrigger semantics).
+[[nodiscard]] CheckpointedRun run_fabric_experiment_with_checkpoint(
+    const FabricConfig& config, const CheckpointTrigger& trigger = {});
+
+/// Restores a run_fabric_experiment_with_checkpoint snapshot into a fresh
+/// fabric for `config` and runs to completion; bit-identical to the run
+/// that wrote it.  Throws a CheckpointError subclass on corruption or a
+/// scenario mismatch.
+[[nodiscard]] ExperimentResult resume_fabric_experiment(const FabricConfig& config,
+                                                        std::span<const std::byte> checkpoint);
+
 /// Metric extractor for fabric sweeps: premium throughput / loss / p100
 /// delay vs. planner bound, aggregate throughput, cross-traffic loss.
 [[nodiscard]] std::map<std::string, double> fabric_metrics(const ExperimentResult& result);

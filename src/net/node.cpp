@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 #include "util/annotations.h"
 
@@ -33,21 +35,59 @@ OutputPort::OutputPort(Simulator& sim, Rate rate, Time propagation_delay,
         downstream_->accept(p);
       } else {
         // Constant delay => FIFO exit order, so the wire is a deque and
-        // the arrival event captures only `this`.
-        in_flight_.push_back(p);
-        wire_metric_.add(1);
-        const auto arrive = [this] {
-          const Packet head = in_flight_.front();
-          in_flight_.pop_front();
-          wire_metric_.add(-1);
-          downstream_->accept(head);
-        };
+        // the arrival event captures only `this` and pops the front.
+        const auto arrive = [this] { deliver_front(); };
         static_assert(InlineAction::stores_inline<decltype(arrive)>,
                       "propagation arrival event must not allocate");
-        sim_.in(propagation_, arrive);
+        const Time arrives = sim_.now() + propagation_;
+        wire_metric_.add(1);
+        const std::uint64_t seq = sim_.in(propagation_, arrive);
+        in_flight_.push_back(Wire{p, arrives, seq});
       }
     });
   }
+}
+
+void OutputPort::deliver_front() {
+  const Packet head = in_flight_.front().packet;
+  in_flight_.pop_front();
+  wire_metric_.add(-1);
+  downstream_->accept(head);
+}
+
+void OutputPort::save_state(CheckpointWriter& w, const std::string& label) const {
+  w.begin_section(label);
+  w.write_i64(dropped_bytes_);
+  w.write_u64(dropped_packets_);
+  w.write_u64(in_flight_.size());
+  for (const Wire& wire : in_flight_) {
+    save_packet(w, wire.packet);
+    w.write_time(wire.arrives);
+    w.write_u64(wire.seq);
+  }
+  w.end_section();
+  manager_->save_state(w);
+  discipline_->save_state(w);
+  link_->save_state(w);
+}
+
+void OutputPort::restore_state(CheckpointReader& r, const std::string& label) {
+  r.begin_section(label);
+  dropped_bytes_ = r.read_i64();
+  dropped_packets_ = r.read_u64();
+  in_flight_.clear();
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Packet p = load_packet(r);
+    const Time arrives = r.read_time();
+    const std::uint64_t seq = r.read_u64();
+    in_flight_.push_back(Wire{p, arrives, seq});
+    sim_.rearm(arrives, seq, [this] { deliver_front(); });
+  }
+  r.end_section();
+  manager_->restore_state(r);
+  discipline_->restore_state(r);
+  link_->restore_state(r);
 }
 
 Node::Node(std::string name) : name_{std::move(name)} {}
@@ -80,6 +120,26 @@ BUFQ_HOT void Node::accept(const Packet& packet) {
 OutputPort& Node::port(std::size_t index) {
   assert(index < ports_.size());
   return *ports_[index];
+}
+
+void Node::save_state(CheckpointWriter& w, std::size_t node_index) const {
+  const std::string prefix = "node." + std::to_string(node_index);
+  w.begin_section(prefix);
+  w.write_u64(unrouted_packets_);
+  w.end_section();
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    ports_[p]->save_state(w, prefix + ".port." + std::to_string(p));
+  }
+}
+
+void Node::restore_state(CheckpointReader& r, std::size_t node_index) {
+  const std::string prefix = "node." + std::to_string(node_index);
+  r.begin_section(prefix);
+  unrouted_packets_ = r.read_u64();
+  r.end_section();
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    ports_[p]->restore_state(r, prefix + ".port." + std::to_string(p));
+  }
 }
 
 FlowSpec output_envelope(const FlowSpec& input, ByteSize hop_buffer, Rate hop_rate) {

@@ -31,6 +31,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// One output interface of a node: buffer manager + queue discipline +
 /// transmission link + (optionally) a downstream sink reached after a
 /// propagation delay.
@@ -62,7 +65,24 @@ class OutputPort {
     drop_tap_ = std::move(tap);
   }
 
+  /// Checkpointable: drop counters, the propagation wire (with each
+  /// arrival's (time, seq) for re-arming), then the owned manager,
+  /// discipline and link in that order.  `label` keeps section names
+  /// unique across a topology ("node.<n>.port.<p>").
+  void save_state(CheckpointWriter& w, const std::string& label) const;
+  void restore_state(CheckpointReader& r, const std::string& label);
+
  private:
+  /// One packet on the propagation wire, with the (time, seq) of its
+  /// scheduled arrival so restore can re-arm it exactly.
+  struct Wire {
+    Packet packet;
+    Time arrives;
+    std::uint64_t seq;
+  };
+
+  void deliver_front();
+
   Simulator& sim_;
   Time propagation_;
   std::unique_ptr<BufferManager> manager_;
@@ -73,7 +93,7 @@ class OutputPort {
   /// constant, so arrivals leave in FIFO order and each arrival event
   /// only needs to capture `this` (keeping it inside the InlineAction
   /// buffer) and pop the front.
-  std::deque<Packet> in_flight_;
+  std::deque<Wire> in_flight_;
   std::function<void(const Packet&, Time)> drop_tap_;
   std::int64_t dropped_bytes_{0};
   std::uint64_t dropped_packets_{0};
@@ -102,6 +122,11 @@ class Node final : public PacketSink {
   [[nodiscard]] OutputPort& port(std::size_t index);
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
   [[nodiscard]] std::uint64_t unrouted_packets() const { return unrouted_packets_; }
+
+  /// Checkpointable: own counters, then every port in index order.
+  /// Routes are static topology configuration and are not serialized.
+  void save_state(CheckpointWriter& w, std::size_t node_index) const;
+  void restore_state(CheckpointReader& r, std::size_t node_index);
 
  private:
   std::string name_;

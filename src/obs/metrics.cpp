@@ -101,6 +101,19 @@ void Histogram::merge(const HistogramSnapshot& other) {
   }
 }
 
+void Histogram::restore(const HistogramSnapshot& snap) {
+  count_.store(snap.count, std::memory_order_relaxed);
+  sum_.store(snap.sum, std::memory_order_relaxed);
+  // snapshot() reports min=0 while empty; the live empty state is
+  // INT64_MAX so the first CAS-min still lands after restore.
+  min_.store(snap.count > 0 ? snap.min : INT64_MAX, std::memory_order_relaxed);
+  max_.store(snap.max, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(i < snap.buckets.size() ? snap.buckets[i] : 0,
+                      std::memory_order_relaxed);
+  }
+}
+
 double HistogramSnapshot::mean() const {
   return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
 }
@@ -207,6 +220,14 @@ void MetricsRegistry::absorb(const RegistrySnapshot& other) {
   for (const auto& [name, snap] : other.histograms) {
     if (snap.count != 0) histogram(name).merge(snap);
   }
+}
+
+void MetricsRegistry::restore(const RegistrySnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) counter(name).restore(value);
+  for (const auto& [name, gs] : snap.gauges) {
+    gauge(name).restore(gs.last, gs.max, gs.updates);
+  }
+  for (const auto& [name, hs] : snap.histograms) histogram(name).restore(hs);
 }
 
 MetricsRegistry* MetricsRegistry::current() {

@@ -39,6 +39,11 @@ class Counter {
   /// Current count.
   [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Overwrites the count — checkpoint restore only.  Overwrite (not add)
+  /// because restore happens after components were rebuilt, and rebuilding
+  /// may itself have recorded; the checkpointed value is authoritative.
+  void restore(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -62,6 +67,14 @@ class Gauge {
   /// from "set to zero".
   [[nodiscard]] std::uint64_t updates() const {
     return updates_.load(std::memory_order_relaxed);
+  }
+
+  /// Overwrites all three fields — checkpoint restore only (see
+  /// Counter::restore for why overwrite, not merge).
+  void restore(std::int64_t last, std::int64_t max, std::uint64_t updates) {
+    value_.store(last, std::memory_order_relaxed);
+    max_.store(max, std::memory_order_relaxed);
+    updates_.store(updates, std::memory_order_relaxed);
   }
 
  private:
@@ -115,6 +128,12 @@ class Histogram {
 
   /// Adds a snapshot's recordings into this histogram (used by absorb()).
   void merge(const HistogramSnapshot& other);
+
+  /// Overwrites the histogram with a snapshot's exact state — checkpoint
+  /// restore only.  An empty snapshot reports min=0 but the live empty
+  /// histogram holds INT64_MAX (so the first CAS-min lands); restore
+  /// inverts that mapping.
+  void restore(const HistogramSnapshot& snap);
 
   /// Index of the bucket a value lands in.
   [[nodiscard]] static std::size_t bucket_index(std::int64_t value);
@@ -180,6 +199,14 @@ class MetricsRegistry {
   /// Adds a snapshot's tallies into this registry's live metrics (creating
   /// them as needed) — the fold-back step of ScopedMetrics.
   void absorb(const RegistrySnapshot& other);
+
+  /// Overwrites every metric named in the snapshot with its exact
+  /// checkpointed state (creating metrics as needed).  Used by checkpoint
+  /// restore *after* components rebuild, so construction-time recordings
+  /// (e.g. pool-init gauge sets) cannot double-count.  Metrics present in
+  /// the registry but absent from the snapshot are left alone — they were
+  /// never recorded before the checkpoint and their rebuilt state is zero.
+  void restore(const RegistrySnapshot& snap);
 
   /// The registry instrumented call sites record into on this thread: the
   /// innermost live ScopedMetrics, else the process-global registry when

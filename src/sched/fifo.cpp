@@ -2,6 +2,7 @@
 
 #include "check/invariants.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "util/annotations.h"
 
 namespace bufq {
@@ -31,6 +32,23 @@ BUFQ_HOT std::optional<Packet> FifoScheduler::dequeue(Time now) {
              static_cast<double>(backlog_bytes_), 0.0, "FIFO backlog bytes went negative");
   manager_.release(packet.flow, packet.size_bytes, now);
   return packet;
+}
+
+void FifoScheduler::save_state(CheckpointWriter& w) const {
+  w.begin_section("sched.fifo");
+  w.write_u64(queue_.size());
+  for (const Packet& packet : queue_) save_packet(w, packet);
+  w.write_i64(backlog_bytes_);
+  w.end_section();
+}
+
+void FifoScheduler::restore_state(CheckpointReader& r) {
+  r.begin_section("sched.fifo");
+  queue_.clear();
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) queue_.push_back(load_packet(r));
+  backlog_bytes_ = r.read_i64();
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -26,6 +26,10 @@ class FifoScheduler final : public QueueDiscipline {
 
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
 
+  /// Checkpointable: the queued packets and backlog byte count.
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   BufferManager& manager_;
   std::deque<Packet> queue_;

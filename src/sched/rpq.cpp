@@ -6,6 +6,7 @@
 
 #include "check/invariants.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "util/annotations.h"
 
 namespace bufq {
@@ -144,6 +145,52 @@ BUFQ_HOT std::optional<Packet> RpqScheduler::dequeue(Time now) {
              static_cast<double>(backlog_bytes_), 0.0, "RPQ backlog bytes went negative");
   manager_.release(packet.flow, packet.size_bytes, now);
   return packet;
+}
+
+void RpqScheduler::save_state(CheckpointWriter& w) const {
+  w.begin_section("sched.rpq");
+  w.write_u64(ring_.size());
+  w.write_i64(min_slot_);
+  w.write_i64(max_slot_);
+  w.write_u64(backlogged_packets_);
+  w.write_i64(backlog_bytes_);
+  // Occupied slots by absolute slot number, cursor order.  Every occupied
+  // slot lies within one ring span of min_slot_ (the span invariant), so
+  // this walk visits each exactly once.
+  w.write_u64(occupied_);
+  if (occupied_ > 0) {
+    for (std::int64_t s = min_slot_;
+         s < min_slot_ + static_cast<std::int64_t>(ring_.size()); ++s) {
+      const std::size_t idx = index_of(s);
+      if (((occupancy_[idx / 64] >> (idx % 64)) & 1U) == 0) continue;
+      w.write_i64(s);
+      w.write_u64(ring_[idx].size());
+      for (const Packet& packet : ring_[idx]) save_packet(w, packet);
+    }
+  }
+  w.end_section();
+}
+
+void RpqScheduler::restore_state(CheckpointReader& r) {
+  r.begin_section("sched.rpq");
+  const std::uint64_t slots = r.read_u64();
+  min_slot_ = r.read_i64();
+  max_slot_ = r.read_i64();
+  backlogged_packets_ = r.read_u64();
+  backlog_bytes_ = r.read_i64();
+  ring_.assign(slots, {});
+  occupancy_.assign((slots + 63) / 64, 0);
+  occupied_ = 0;
+  const std::uint64_t occupied = r.read_u64();
+  for (std::uint64_t i = 0; i < occupied; ++i) {
+    const std::int64_t slot = r.read_i64();
+    const std::size_t idx = index_of(slot);
+    const std::uint64_t depth = r.read_u64();
+    for (std::uint64_t p = 0; p < depth; ++p) ring_[idx].push_back(load_packet(r));
+    occupancy_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    ++occupied_;
+  }
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -45,6 +45,12 @@ class RpqScheduler final : public QueueDiscipline {
   /// backlog spans more slots than the ring holds).  Exposed for tests.
   [[nodiscard]] std::size_t ring_slots() const { return ring_.size(); }
 
+  /// Checkpointable: ring geometry, the slot cursor and per-slot FIFOs
+  /// keyed by absolute slot number (so restore refiles each packet into
+  /// the identical ring position).
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   [[nodiscard]] std::int64_t slot_for(Time deadline) const;
   [[nodiscard]] std::size_t index_of(std::int64_t slot) const {

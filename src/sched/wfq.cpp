@@ -5,6 +5,7 @@
 
 #include "check/invariants.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "util/annotations.h"
 
 namespace bufq {
@@ -127,6 +128,61 @@ BUFQ_HOT std::optional<Packet> WfqScheduler::dequeue(Time now) {
              static_cast<double>(backlog_bytes_), 0.0, "WFQ backlog bytes went negative");
   manager_.release(head.packet.flow, head.packet.size_bytes, now);
   return head.packet;
+}
+
+void WfqScheduler::save_state(CheckpointWriter& w) const {
+  w.begin_section("sched.wfq");
+  w.write_f64(virtual_time_);
+  w.write_f64(active_weight_);
+  w.write_time(vt_updated_);
+  w.write_u64(backlogged_packets_);
+  w.write_i64(backlog_bytes_);
+  w.write_u64(classes_.size());
+  for (const ClassState& state : classes_) {
+    w.write_f64(state.weight);
+    w.write_f64(state.last_finish);
+    w.write_u64(state.queue.size());
+    for (const StampedPacket& sp : state.queue) {
+      save_packet(w, sp.packet);
+      w.write_f64(sp.finish);
+    }
+  }
+  w.end_section();
+}
+
+void WfqScheduler::restore_state(CheckpointReader& r) {
+  r.begin_section("sched.wfq");
+  virtual_time_ = r.read_f64();
+  active_weight_ = r.read_f64();
+  vt_updated_ = r.read_time();
+  backlogged_packets_ = r.read_u64();
+  backlog_bytes_ = r.read_i64();
+  const std::uint64_t class_count = r.read_u64();
+  if (class_count != classes_.size()) {
+    throw CheckpointFormatError("WFQ class count mismatch on restore");
+  }
+  hol_.clear();
+  for (ClassState& state : classes_) {
+    state.weight = r.read_f64();
+    state.last_finish = r.read_f64();
+    state.queue.clear();
+    const std::uint64_t depth = r.read_u64();
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      StampedPacket sp;
+      sp.packet = load_packet(r);
+      sp.finish = r.read_f64();
+      state.queue.push_back(sp);
+    }
+  }
+  // Rebuild head-of-line stamps from the restored queues in class-index
+  // order; (finish, class) keys are unique per class, so pop order is
+  // independent of insertion order and the heap's internal layout.
+  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+    if (!classes_[cls].queue.empty()) {
+      hol_.push({classes_[cls].queue.front().finish, cls});
+    }
+  }
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -59,6 +59,13 @@ class WfqScheduler final : public QueueDiscipline {
   [[nodiscard]] std::size_t class_queue_length(std::size_t cls) const;
   [[nodiscard]] double virtual_time() const { return virtual_time_; }
 
+  /// Checkpointable: virtual-time state, per-class finish stamps and
+  /// queues.  The hol_ heap is not serialized; restore rebuilds it from
+  /// the class queues ((finish, class) keys are unique per class, so the
+  /// rebuilt heap pops in the identical order regardless of layout).
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   struct StampedPacket {
     Packet packet;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/invariants.h"
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 #include "util/annotations.h"
 
@@ -30,7 +31,8 @@ BUFQ_HOT void Link::try_transmit() {
   const auto complete = [this] { finish_transmission(); };
   static_assert(InlineAction::stores_inline<decltype(complete)>,
                 "link completion event must not allocate");
-  sim_.in(tx, complete);
+  completion_time_ = sim_.now() + tx;
+  completion_seq_ = sim_.in(tx, complete);
 }
 
 BUFQ_HOT void Link::finish_transmission() {
@@ -40,6 +42,33 @@ BUFQ_HOT void Link::finish_transmission() {
   ++packets_delivered_;
   if (on_delivery_) on_delivery_(packet, sim_.now());
   try_transmit();
+}
+
+void Link::save_state(CheckpointWriter& w) const {
+  w.begin_section("link");
+  w.write_bool(busy_);
+  if (busy_) {
+    save_packet(w, in_flight_);
+    w.write_time(completion_time_);
+    w.write_u64(completion_seq_);
+  }
+  w.write_i64(bytes_delivered_);
+  w.write_u64(packets_delivered_);
+  w.end_section();
+}
+
+void Link::restore_state(CheckpointReader& r) {
+  r.begin_section("link");
+  busy_ = r.read_bool();
+  if (busy_) {
+    in_flight_ = load_packet(r);
+    completion_time_ = r.read_time();
+    completion_seq_ = r.read_u64();
+    sim_.rearm(completion_time_, completion_seq_, [this] { finish_transmission(); });
+  }
+  bytes_delivered_ = r.read_i64();
+  packets_delivered_ = r.read_u64();
+  r.end_section();
 }
 
 }  // namespace bufq

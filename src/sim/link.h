@@ -38,6 +38,12 @@ class Link : public PacketSink {
   [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
   [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
 
+  /// Checkpointable: wire state (in-flight packet, pending completion's
+  /// (time, seq)) and delivery counters.  Restore re-arms the completion
+  /// event under its original sequence number.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
+
  private:
   void try_transmit();
   void finish_transmission();
@@ -51,6 +57,10 @@ class Link : public PacketSink {
   /// captures only `this` and stays inside the InlineAction buffer.
   Packet in_flight_{};
   bool busy_{false};
+  /// (time, seq) of the pending completion event while busy_ — recorded so
+  /// a checkpoint restore can re-arm it with the identical calendar key.
+  Time completion_time_{Time::zero()};
+  std::uint64_t completion_seq_{0};
   std::int64_t bytes_delivered_{0};
   std::uint64_t packets_delivered_{0};
 };

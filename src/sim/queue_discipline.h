@@ -12,6 +12,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class QueueDiscipline {
  public:
   using DropHandler = std::function<void(const Packet&, Time)>;
@@ -36,6 +39,12 @@ class QueueDiscipline {
 
   /// Installs a callback invoked for every packet the discipline refuses.
   virtual void set_drop_handler(DropHandler handler) = 0;
+
+  /// Checkpointable protocol (see sim/checkpoint.h): serializes queued
+  /// packets and scheduling state; restore rebuilds them exactly so the
+  /// resumed dequeue order is identical.
+  virtual void save_state(CheckpointWriter& w) const = 0;
+  virtual void restore_state(CheckpointReader& r) = 0;
 };
 
 }  // namespace bufq

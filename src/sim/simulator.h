@@ -30,6 +30,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class Simulator {
  public:
   using Action = InlineAction;
@@ -42,20 +45,37 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `action` at absolute time `t`.  Requires t >= now().
-  BUFQ_HOT void at(Time t, Action action) {
+  /// Returns the assigned sequence number: components that hold pending
+  /// events record it alongside the fire time so checkpoint restore can
+  /// re-arm with the exact (time, seq) key and preserve tie order.
+  BUFQ_HOT std::uint64_t at(Time t, Action action) {
     BUFQ_CHECK(t >= now_, check::Invariant::kEventClock, -1, now_, t.to_seconds(),
                now_.to_seconds(), "event scheduled in the past");
 #if !BUFQ_CHECKS_ENABLED
     assert(t >= now_ && "cannot schedule in the past");
 #endif
-    calendar_.push(CalendarQueue::Event{t, next_seq_++, std::move(action)});
+    const std::uint64_t seq = next_seq_++;
+    calendar_.push(CalendarQueue::Event{t, seq, std::move(action)});
+    return seq;
   }
 
   /// Schedules `action` `delay` after the current time.  Requires a
-  /// non-negative delay.
-  BUFQ_HOT void in(Time delay, Action action) {
+  /// non-negative delay.  Returns the assigned sequence number (see at()).
+  BUFQ_HOT std::uint64_t in(Time delay, Action action) {
     assert(delay >= Time::zero());
-    at(now_ + delay, std::move(action));
+    return at(now_ + delay, std::move(action));
+  }
+
+  /// Re-schedules a checkpointed event under its *original* sequence
+  /// number.  Restore-only: `seq` must have been handed out by at()/in()
+  /// before the checkpoint (i.e. seq < next_seq_ after restore_state), so
+  /// tie-break order is identical to the uninterrupted run.  Plain asserts
+  /// rather than BUFQ_CHECK: the checker tallies are overwritten by the
+  /// engine after re-arming, and restore must not perturb them.
+  void rearm(Time t, std::uint64_t seq, Action action) {
+    assert(t >= now_ && "cannot re-arm in the past");
+    assert(seq < next_seq_ && "re-armed seq was never issued");
+    calendar_.push(CalendarQueue::Event{t, seq, std::move(action)});
   }
 
   /// Executes the single earliest pending event.  Returns false when the
@@ -84,6 +104,22 @@ class Simulator {
     stopped_ = false;
   }
 
+  /// Processes events in order until `target` total events have been
+  /// dispatched (lifetime count, compared against events_processed()) or
+  /// no event at or before `limit` remains.  Unlike run_until() the clock
+  /// is NOT advanced to `limit` afterwards — the simulator is left exactly
+  /// as it was after the last dispatched event, which is what a
+  /// mid-run checkpoint needs (resuming with run_until(horizon) then
+  /// replays the identical remaining trajectory).  Returns
+  /// events_processed().
+  std::uint64_t run_events_until(std::uint64_t target, Time limit) {
+    CalendarQueue::Event ev;
+    while (!stopped_ && processed_ < target && calendar_.pop_min_at_or_before(limit, ev)) {
+      dispatch(ev);
+    }
+    return processed_;
+  }
+
   /// Makes `run()`/`run_until()` return after the current event.  Pending
   /// events stay scheduled; a later run() resumes.
   void stop() { stopped_ = true; }
@@ -92,6 +128,15 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }
+
+  /// Checkpointable: serializes clock, sequence counter, lifetime event
+  /// count and calendar geometry plus the pending-event count.  The
+  /// calendar's *contents* are not serialized — InlineActions cannot be;
+  /// each component re-arms its own events via rearm() — so restore_state
+  /// returns the expected pending count for the engine to verify once
+  /// every component has restored.
+  void save_state(CheckpointWriter& w) const;
+  [[nodiscard]] std::uint64_t restore_state(CheckpointReader& r);
 
  private:
   /// The shared per-event body: clock advance, accounting, invoke.

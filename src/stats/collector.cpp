@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/checkpoint.h"
+
 namespace bufq {
 
 StatsCollector::StatsCollector(std::size_t flow_count) : flows_(flow_count) {}
@@ -75,6 +77,35 @@ Rate StatsCollector::throughput(const FlowCounters& delta, Time interval) {
   assert(interval > Time::zero());
   return Rate::bits_per_second(static_cast<double>(delta.delivered_bytes) * 8.0 /
                                interval.to_seconds());
+}
+
+void StatsCollector::save_state(CheckpointWriter& w) const {
+  w.begin_section("stats");
+  w.write_u64(flows_.size());
+  for (const auto& c : flows_) {
+    w.write_i64(c.offered_bytes);
+    w.write_i64(c.delivered_bytes);
+    w.write_i64(c.dropped_bytes);
+    w.write_u64(c.offered_packets);
+    w.write_u64(c.delivered_packets);
+    w.write_u64(c.dropped_packets);
+  }
+  w.end_section();
+}
+
+void StatsCollector::restore_state(CheckpointReader& r) {
+  r.begin_section("stats");
+  const std::uint64_t count = r.read_u64();
+  flows_.assign(static_cast<std::size_t>(count), FlowCounters{});
+  for (auto& c : flows_) {
+    c.offered_bytes = r.read_i64();
+    c.delivered_bytes = r.read_i64();
+    c.dropped_bytes = r.read_i64();
+    c.offered_packets = r.read_u64();
+    c.delivered_packets = r.read_u64();
+    c.dropped_packets = r.read_u64();
+  }
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -13,6 +13,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 struct FlowCounters {
   std::int64_t offered_bytes{0};
   std::int64_t delivered_bytes{0};
@@ -64,6 +67,11 @@ class StatsCollector {
   /// table may have grown in between; missing entries count as zero).
   [[nodiscard]] static FlowCounters total_delta(const std::vector<FlowCounters>& before,
                                                 const std::vector<FlowCounters>& after);
+
+  /// Checkpointable: every per-flow counter (the vector may regrow on
+  /// restore if the checkpoint saw churned flows this instance has not).
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   FlowCounters& at(FlowId id);

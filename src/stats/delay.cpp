@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/checkpoint.h"
+
 namespace bufq {
 
 DelayRecorder::DelayRecorder(std::size_t flow_count) : flows_(flow_count) {}
@@ -77,6 +79,33 @@ Time DelayRecorder::max_delay_all() const {
   Time max = Time::zero();
   for (const auto& f : flows_) max = std::max(max, f.max);
   return max;
+}
+
+void DelayRecorder::save_state(CheckpointWriter& w) const {
+  w.begin_section("delays");
+  w.write_u64(flows_.size());
+  for (const auto& f : flows_) {
+    w.write_u64(f.count);
+    w.write_i64(f.sum_ns);
+    w.write_time(f.max);
+    for (const std::uint64_t b : f.histogram) w.write_u64(b);
+  }
+  w.end_section();
+}
+
+void DelayRecorder::restore_state(CheckpointReader& r) {
+  r.begin_section("delays");
+  const std::uint64_t count = r.read_u64();
+  if (count != flows_.size()) {
+    throw CheckpointFormatError("delay recorder flow-count mismatch");
+  }
+  for (auto& f : flows_) {
+    f.count = r.read_u64();
+    f.sum_ns = r.read_i64();
+    f.max = r.read_time();
+    for (std::uint64_t& b : f.histogram) b = r.read_u64();
+  }
+  r.end_section();
 }
 
 }  // namespace bufq

@@ -16,6 +16,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Streaming delay accumulator: mean/max exactly, quantiles approximated
 /// from a fixed micro-second histogram (64 log-spaced bins covering
 /// 1 us .. ~1000 s), so memory stays O(1) per flow.
@@ -38,6 +41,10 @@ class DelayRecorder {
   [[nodiscard]] Time max_delay_all() const;
 
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Checkpointable: per-flow count/sum/max and the full histogram.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   static constexpr int kBins = 64;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 
 namespace bufq {
@@ -25,7 +27,8 @@ void AimdSource::start() {
   const auto first_epoch = [this] { epoch(); };
   static_assert(InlineAction::stores_inline<decltype(first_epoch)>,
                 "AIMD epoch event must not allocate");
-  sim_.in(params_.rtt, first_epoch);
+  next_epoch_ = sim_.now() + params_.rtt;
+  epoch_seq_ = sim_.in(params_.rtt, first_epoch);
 }
 
 void AimdSource::emit_packet() {
@@ -38,7 +41,9 @@ void AimdSource::emit_packet() {
   const auto tick = [this] { emit_packet(); };
   static_assert(InlineAction::stores_inline<decltype(tick)>,
                 "AIMD emission event must not allocate");
-  sim_.in(rate_.transmission_time(params_.packet_bytes), tick);
+  const Time gap = rate_.transmission_time(params_.packet_bytes);
+  next_emit_ = sim_.now() + gap;
+  emit_seq_ = sim_.in(gap, tick);
 }
 
 void AimdSource::epoch() {
@@ -52,7 +57,43 @@ void AimdSource::epoch() {
   const auto next_epoch = [this] { epoch(); };
   static_assert(InlineAction::stores_inline<decltype(next_epoch)>,
                 "AIMD epoch event must not allocate");
-  sim_.in(params_.rtt, next_epoch);
+  next_epoch_ = sim_.now() + params_.rtt;
+  epoch_seq_ = sim_.in(params_.rtt, next_epoch);
+}
+
+void AimdSource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.aimd." + std::to_string(params_.flow));
+  w.write_f64(rate_.bps());
+  w.write_bool(loss_in_epoch_);
+  w.write_u64(decreases_);
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(started_);
+  w.write_time(next_emit_);
+  w.write_u64(emit_seq_);
+  w.write_time(next_epoch_);
+  w.write_u64(epoch_seq_);
+  w.end_section();
+}
+
+void AimdSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.aimd." + std::to_string(params_.flow));
+  rate_ = Rate::bits_per_second(r.read_f64());
+  loss_in_epoch_ = r.read_bool();
+  decreases_ = r.read_u64();
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  started_ = r.read_bool();
+  next_emit_ = r.read_time();
+  emit_seq_ = r.read_u64();
+  next_epoch_ = r.read_time();
+  epoch_seq_ = r.read_u64();
+  r.end_section();
+  if (!started_) return;
+  sim_.rearm(next_emit_, emit_seq_, [this] { emit_packet(); });
+  sim_.rearm(next_epoch_, epoch_seq_, [this] { epoch(); });
 }
 
 }  // namespace bufq

@@ -49,6 +49,12 @@ class AimdSource final : public Source {
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
 
+  /// Checkpointable: rate/loss state plus *both* pending events (the
+  /// emission tick and the RTT epoch), each re-armed at its saved
+  /// (time, seq).
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void emit_packet();
   void epoch();
@@ -63,6 +69,10 @@ class AimdSource final : public Source {
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  Time next_emit_{Time::zero()};
+  std::uint64_t emit_seq_{0};
+  Time next_epoch_{Time::zero()};
+  std::uint64_t epoch_seq_{0};
 };
 
 }  // namespace bufq

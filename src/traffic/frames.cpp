@@ -1,8 +1,11 @@
 #include "traffic/frames.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 
 namespace bufq {
@@ -22,7 +25,9 @@ void FrameSource::start() {
   const auto first = [this] { begin_frame(); };
   static_assert(InlineAction::stores_inline<decltype(first)>,
                 "frame start event must not allocate");
-  sim_.in(rng_.exponential_time(params_.mean_frame_interval), first);
+  const Time delay = rng_.exponential_time(params_.mean_frame_interval);
+  next_frame_ = sim_.now() + delay;
+  frame_seq_ = sim_.in(delay, first);
 }
 
 void FrameSource::begin_frame() {
@@ -33,7 +38,9 @@ void FrameSource::begin_frame() {
   const auto next = [this] { begin_frame(); };
   static_assert(InlineAction::stores_inline<decltype(next)>,
                 "frame interval event must not allocate");
-  sim_.in(rng_.exponential_time(params_.mean_frame_interval), next);
+  const Time delay = rng_.exponential_time(params_.mean_frame_interval);
+  next_frame_ = sim_.now() + delay;
+  frame_seq_ = sim_.in(delay, next);
 }
 
 void FrameSource::emit_segment() {
@@ -54,10 +61,75 @@ void FrameSource::emit_segment() {
   bytes_emitted_ += params_.segment_bytes;
   ++packets_emitted_;
   if (index + 1 < params_.segments_per_frame) {
-    const auto tick = [this] { emit_segment(); };
+    const auto tick = [this] { segment_event(); };
     static_assert(InlineAction::stores_inline<decltype(tick)>,
                   "frame segment event must not allocate");
-    sim_.in(segment_gap_, tick);
+    const Time at = sim_.now() + segment_gap_;
+    const std::uint64_t seq = sim_.in(segment_gap_, tick);
+    pending_segments_.emplace_back(at, seq);
+  }
+}
+
+void FrameSource::segment_event() {
+  // Among in-flight segment events the earliest (time, seq) fires first,
+  // so that is the record this dispatch consumes.
+  const auto it = std::min_element(pending_segments_.begin(), pending_segments_.end());
+  assert(it != pending_segments_.end());
+  pending_segments_.erase(it);
+  emit_segment();
+}
+
+void FrameSource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.frame." + std::to_string(params_.flow));
+  w.write_bool(started_);
+  w.write_i64(current_frame_);
+  w.write_i64(segment_index_);
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_u64(frames_emitted_);
+  save_rng(w, rng_);
+  w.write_time(next_frame_);
+  w.write_u64(frame_seq_);
+  w.write_u64(pending_segments_.size());
+  for (const auto& [at, seq] : pending_segments_) {
+    w.write_time(at);
+    w.write_u64(seq);
+  }
+  w.end_section();
+}
+
+void FrameSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.frame." + std::to_string(params_.flow));
+  started_ = r.read_bool();
+  current_frame_ = r.read_i64();
+  segment_index_ = static_cast<int>(r.read_i64());
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  frames_emitted_ = r.read_u64();
+  load_rng(r, rng_);
+  next_frame_ = r.read_time();
+  frame_seq_ = r.read_u64();
+  pending_segments_.clear();
+  const std::uint64_t count = r.read_u64();
+  pending_segments_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Time at = r.read_time();
+    const std::uint64_t seq = r.read_u64();
+    pending_segments_.emplace_back(at, seq);
+  }
+  r.end_section();
+  if (!started_) return;
+  const auto next = [this] { begin_frame(); };
+  static_assert(InlineAction::stores_inline<decltype(next)>,
+                "frame interval event must not allocate");
+  sim_.rearm(next_frame_, frame_seq_, next);
+  for (const auto& [at, seq] : pending_segments_) {
+    const auto tick = [this] { segment_event(); };
+    static_assert(InlineAction::stores_inline<decltype(tick)>,
+                  "frame segment event must not allocate");
+    sim_.rearm(at, seq, tick);
   }
 }
 

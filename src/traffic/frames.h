@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/packet.h"
@@ -35,9 +36,13 @@ class FrameSource final : public Source {
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
   [[nodiscard]] std::uint64_t frames_emitted() const { return frames_emitted_; }
 
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void begin_frame();
   void emit_segment();
+  void segment_event();
 
   Simulator& sim_;
   PacketSink& sink_;
@@ -51,6 +56,11 @@ class FrameSource final : public Source {
   std::uint64_t packets_emitted_{0};
   std::uint64_t frames_emitted_{0};
   bool started_{false};
+  Time next_frame_{Time::zero()};
+  std::uint64_t frame_seq_{0};
+  /// (fire time, seq) of every in-flight segment event.  Overlapping
+  /// frames at short intervals can keep several chains alive at once.
+  std::vector<std::pair<Time, std::uint64_t>> pending_segments_;
 };
 
 /// Terminal sink: a frame counts as delivered only if every segment

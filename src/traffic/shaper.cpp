@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 
 namespace bufq {
@@ -59,7 +61,45 @@ void LeakyBucketShaper::schedule_release() {
   };
   static_assert(InlineAction::stores_inline<decltype(release)>,
                 "shaper release event must not allocate");
-  sim_.in(wait, release);
+  release_time_ = now + wait;
+  release_seq_ = sim_.in(wait, release);
+}
+
+void LeakyBucketShaper::save_state(CheckpointWriter& w, std::size_t index) const {
+  w.begin_section("shaper." + std::to_string(index));
+  w.write_f64(bucket_.tokens_raw());
+  w.write_time(bucket_.last_update());
+  w.write_time(earliest_next_release_);
+  w.write_u64(queue_.size());
+  for (const Packet& p : queue_) save_packet(w, p);
+  w.write_i64(queued_bytes_);
+  w.write_i64(bytes_forwarded_);
+  w.write_bool(release_pending_);
+  w.write_time(release_time_);
+  w.write_u64(release_seq_);
+  w.end_section();
+}
+
+void LeakyBucketShaper::restore_state(CheckpointReader& r, std::size_t index) {
+  r.begin_section("shaper." + std::to_string(index));
+  const double tokens = r.read_f64();
+  const Time last_update = r.read_time();
+  bucket_.restore(tokens, last_update);
+  earliest_next_release_ = r.read_time();
+  queue_.clear();
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) queue_.push_back(load_packet(r));
+  queued_bytes_ = r.read_i64();
+  bytes_forwarded_ = r.read_i64();
+  release_pending_ = r.read_bool();
+  release_time_ = r.read_time();
+  release_seq_ = r.read_u64();
+  r.end_section();
+  if (!release_pending_) return;
+  sim_.rearm(release_time_, release_seq_, [this] {
+    release_pending_ = false;
+    release_ready();
+  });
 }
 
 }  // namespace bufq

@@ -18,6 +18,9 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class LeakyBucketShaper : public PacketSink {
  public:
   /// Packets leaving the shaper conform to (depth, token_rate); if
@@ -35,6 +38,12 @@ class LeakyBucketShaper : public PacketSink {
   /// driver must not destroy a shaper whose event is still pending.
   [[nodiscard]] bool release_pending() const { return release_pending_; }
 
+  /// Checkpointable: bucket level, shaping queue, counters, and the
+  /// pending release event.  `index` disambiguates the section name when
+  /// an engine owns one shaper per flow.
+  void save_state(CheckpointWriter& w, std::size_t index) const;
+  void restore_state(CheckpointReader& r, std::size_t index);
+
  private:
   void release_ready();
   void schedule_release();
@@ -48,6 +57,8 @@ class LeakyBucketShaper : public PacketSink {
   std::int64_t queued_bytes_{0};
   std::int64_t bytes_forwarded_{0};
   bool release_pending_{false};
+  Time release_time_{Time::zero()};
+  std::uint64_t release_seq_{0};
 };
 
 }  // namespace bufq

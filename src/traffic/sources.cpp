@@ -1,7 +1,9 @@
 #include "traffic/sources.h"
 
 #include <cassert>
+#include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 
 namespace bufq {
@@ -47,6 +49,7 @@ void MarkovOnOffSource::stop() { stopped_ = true; }
 
 void MarkovOnOffSource::schedule(Time delay, void (MarkovOnOffSource::*next)()) {
   next_event_ = sim_.now() + delay;
+  pending_ = next == &MarkovOnOffSource::begin_on_period ? Pending::kBeginOn : Pending::kEmit;
   const auto fire = [this, next] {
     if (!stopped_) (this->*next)();
   };
@@ -54,7 +57,46 @@ void MarkovOnOffSource::schedule(Time delay, void (MarkovOnOffSource::*next)()) 
   // the largest a source schedules and must stay inside the event record.
   static_assert(InlineAction::stores_inline<decltype(fire)>,
                 "source events must not allocate");
-  sim_.in(delay, fire);
+  pending_seq_ = sim_.in(delay, fire);
+}
+
+void MarkovOnOffSource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.onoff." + std::to_string(params_.flow));
+  save_rng(w, rng_);
+  w.write_time(on_ends_);
+  w.write_time(next_event_);
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(started_);
+  w.write_bool(stopped_);
+  w.write_u8(static_cast<std::uint8_t>(pending_));
+  w.write_u64(pending_seq_);
+  w.end_section();
+}
+
+void MarkovOnOffSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.onoff." + std::to_string(params_.flow));
+  load_rng(r, rng_);
+  on_ends_ = r.read_time();
+  next_event_ = r.read_time();
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  started_ = r.read_bool();
+  stopped_ = r.read_bool();
+  pending_ = static_cast<Pending>(r.read_u8());
+  pending_seq_ = r.read_u64();
+  r.end_section();
+  if (!started_ || stopped_ || pending_ == Pending::kNone) return;
+  const auto next = pending_ == Pending::kBeginOn ? &MarkovOnOffSource::begin_on_period
+                                                  : &MarkovOnOffSource::emit_packet;
+  const auto fire = [this, next] {
+    if (!stopped_) (this->*next)();
+  };
+  static_assert(InlineAction::stores_inline<decltype(fire)>,
+                "source events must not allocate");
+  sim_.rearm(next_event_, pending_seq_, fire);
 }
 
 void MarkovOnOffSource::begin_on_period() {
@@ -119,7 +161,32 @@ void CbrSource::emit_packet() {
   const auto tick = [this] { emit_packet(); };
   static_assert(InlineAction::stores_inline<decltype(tick)>,
                 "CBR emission event must not allocate");
-  sim_.in(interval_, tick);
+  next_emit_ = sim_.now() + interval_;
+  pending_seq_ = sim_.in(interval_, tick);
+}
+
+void CbrSource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.cbr." + std::to_string(flow_));
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(started_);
+  w.write_time(next_emit_);
+  w.write_u64(pending_seq_);
+  w.end_section();
+}
+
+void CbrSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.cbr." + std::to_string(flow_));
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  started_ = r.read_bool();
+  next_emit_ = r.read_time();
+  pending_seq_ = r.read_u64();
+  r.end_section();
+  if (!started_) return;
+  sim_.rearm(next_emit_, pending_seq_, [this] { emit_packet(); });
 }
 
 // --------------------------------------------------------------- Poisson
@@ -142,7 +209,9 @@ void PoissonSource::start() {
   const auto first = [this] { emit_packet(); };
   static_assert(InlineAction::stores_inline<decltype(first)>,
                 "Poisson emission event must not allocate");
-  sim_.in(rng_.exponential_time(mean_gap_), first);
+  const Time gap = rng_.exponential_time(mean_gap_);
+  next_emit_ = sim_.now() + gap;
+  pending_seq_ = sim_.in(gap, first);
 }
 
 void PoissonSource::emit_packet() {
@@ -155,7 +224,35 @@ void PoissonSource::emit_packet() {
   const auto tick = [this] { emit_packet(); };
   static_assert(InlineAction::stores_inline<decltype(tick)>,
                 "Poisson emission event must not allocate");
-  sim_.in(rng_.exponential_time(mean_gap_), tick);
+  const Time gap = rng_.exponential_time(mean_gap_);
+  next_emit_ = sim_.now() + gap;
+  pending_seq_ = sim_.in(gap, tick);
+}
+
+void PoissonSource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.poisson." + std::to_string(flow_));
+  save_rng(w, rng_);
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(started_);
+  w.write_time(next_emit_);
+  w.write_u64(pending_seq_);
+  w.end_section();
+}
+
+void PoissonSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.poisson." + std::to_string(flow_));
+  load_rng(r, rng_);
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  started_ = r.read_bool();
+  next_emit_ = r.read_time();
+  pending_seq_ = r.read_u64();
+  r.end_section();
+  if (!started_) return;
+  sim_.rearm(next_emit_, pending_seq_, [this] { emit_packet(); });
 }
 
 // ---------------------------------------------------------------- Greedy
@@ -187,7 +284,32 @@ void GreedySource::emit_packet() {
   const auto tick = [this] { emit_packet(); };
   static_assert(InlineAction::stores_inline<decltype(tick)>,
                 "greedy emission event must not allocate");
-  sim_.in(interval_, tick);
+  next_emit_ = sim_.now() + interval_;
+  pending_seq_ = sim_.in(interval_, tick);
+}
+
+void GreedySource::save_state(CheckpointWriter& w) const {
+  w.begin_section("src.greedy." + std::to_string(flow_));
+  w.write_u64(next_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(started_);
+  w.write_time(next_emit_);
+  w.write_u64(pending_seq_);
+  w.end_section();
+}
+
+void GreedySource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.greedy." + std::to_string(flow_));
+  next_seq_ = r.read_u64();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  started_ = r.read_bool();
+  next_emit_ = r.read_time();
+  pending_seq_ = r.read_u64();
+  r.end_section();
+  if (!started_) return;
+  sim_.rearm(next_emit_, pending_seq_, [this] { emit_packet(); });
 }
 
 }  // namespace bufq

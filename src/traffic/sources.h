@@ -22,11 +22,19 @@
 
 namespace bufq {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class Source {
  public:
   virtual ~Source() = default;
   /// Begins emitting.  Must be called at most once.
   virtual void start() = 0;
+
+  /// Checkpointable: counters, RNG stream, and the one pending emission
+  /// event (time, seq); restore re-arms it so replay is bit-identical.
+  virtual void save_state(CheckpointWriter& w) const = 0;
+  virtual void restore_state(CheckpointReader& r) = 0;
 
   /// Stops emitting: no further packets and no further events are
   /// scheduled.  At most one already-scheduled event may still fire (as a
@@ -79,7 +87,15 @@ class MarkovOnOffSource : public Source {
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
 
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
+  /// Which member function the outstanding event will invoke.  Closures
+  /// cannot be serialized, so the checkpoint records this tag and restore
+  /// re-schedules the same transition at the saved (time, seq).
+  enum class Pending : std::uint8_t { kNone = 0, kBeginOn = 1, kEmit = 2 };
+
   void begin_on_period();
   void emit_packet();
   void schedule(Time delay, void (MarkovOnOffSource::*next)());
@@ -96,6 +112,8 @@ class MarkovOnOffSource : public Source {
   std::uint64_t packets_emitted_{0};
   bool started_{false};
   bool stopped_{false};
+  Pending pending_{Pending::kNone};
+  std::uint64_t pending_seq_{0};
 };
 
 /// Constant bit rate source: fixed-size packets at exact intervals.
@@ -109,6 +127,9 @@ class CbrSource : public Source {
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
 
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void emit_packet();
 
@@ -121,6 +142,8 @@ class CbrSource : public Source {
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  Time next_emit_{Time::zero()};
+  std::uint64_t pending_seq_{0};
 };
 
 /// Poisson packet arrivals at a given mean rate; used by robustness tests.
@@ -133,6 +156,9 @@ class PoissonSource : public Source {
 
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
+
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
 
  private:
   void emit_packet();
@@ -147,6 +173,8 @@ class PoissonSource : public Source {
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  Time next_emit_{Time::zero()};
+  std::uint64_t pending_seq_{0};
 };
 
 /// Adversarial source: emits back-to-back packets at a fixed (typically
@@ -163,6 +191,9 @@ class GreedySource : public Source {
   [[nodiscard]] std::int64_t bytes_emitted() const override { return bytes_emitted_; }
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
 
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void emit_packet();
 
@@ -175,6 +206,8 @@ class GreedySource : public Source {
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  Time next_emit_{Time::zero()};
+  std::uint64_t pending_seq_{0};
 };
 
 }  // namespace bufq

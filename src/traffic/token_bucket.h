@@ -34,6 +34,15 @@ class TokenBucket {
   [[nodiscard]] ByteSize depth() const { return depth_; }
   [[nodiscard]] Rate rate() const { return rate_; }
 
+  /// Raw fill level without refilling — exact checkpoint state, paired
+  /// with last_update() so restore() reproduces the same refill series.
+  [[nodiscard]] double tokens_raw() const { return tokens_; }
+  [[nodiscard]] Time last_update() const { return last_update_; }
+  void restore(double tokens, Time last_update) {
+    tokens_ = tokens;
+    last_update_ = last_update;
+  }
+
  private:
   void refill(Time now) const;
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 
 namespace bufq {
@@ -62,10 +63,12 @@ void TraceSource::start() {
   const auto fire = [this] { emit_next(); };
   static_assert(InlineAction::stores_inline<decltype(fire)>,
                 "trace replay event must not allocate");
-  sim_.at(entries_.front().at, fire);
+  pending_ = true;
+  pending_seq_ = sim_.at(entries_.front().at, fire);
 }
 
 void TraceSource::emit_next() {
+  pending_ = false;
   // Emit every entry due now, then schedule the next distinct timestamp.
   while (next_ < entries_.size() && entries_[next_].at <= sim_.now()) {
     const auto& e = entries_[next_];
@@ -81,8 +84,41 @@ void TraceSource::emit_next() {
     const auto fire = [this] { emit_next(); };
     static_assert(InlineAction::stores_inline<decltype(fire)>,
                   "trace replay event must not allocate");
-    sim_.at(entries_[next_].at, fire);
+    pending_ = true;
+    pending_seq_ = sim_.at(entries_[next_].at, fire);
   }
+}
+
+void TraceSource::save_state(CheckpointWriter& w) const {
+  // The entry list itself is construction config, covered by the scenario
+  // fingerprint; only the replay cursor and counters are state.
+  w.begin_section("src.trace");
+  w.write_bool(started_);
+  w.write_u64(next_);
+  w.write_u64_vector(per_flow_seq_);
+  w.write_i64(bytes_emitted_);
+  w.write_u64(packets_emitted_);
+  w.write_bool(pending_);
+  w.write_u64(pending_seq_);
+  w.end_section();
+}
+
+void TraceSource::restore_state(CheckpointReader& r) {
+  r.begin_section("src.trace");
+  started_ = r.read_bool();
+  next_ = static_cast<std::size_t>(r.read_u64());
+  per_flow_seq_ = r.read_u64_vector();
+  bytes_emitted_ = r.read_i64();
+  packets_emitted_ = r.read_u64();
+  pending_ = r.read_bool();
+  pending_seq_ = r.read_u64();
+  r.end_section();
+  if (!pending_) return;
+  assert(next_ < entries_.size());
+  const auto fire = [this] { emit_next(); };
+  static_assert(InlineAction::stores_inline<decltype(fire)>,
+                "trace replay event must not allocate");
+  sim_.rearm(entries_[next_].at, pending_seq_, fire);
 }
 
 }  // namespace bufq

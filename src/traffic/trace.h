@@ -46,6 +46,9 @@ class TraceSource final : public Source {
   [[nodiscard]] std::uint64_t packets_emitted() const override { return packets_emitted_; }
   [[nodiscard]] std::size_t remaining() const { return entries_.size() - next_; }
 
+  void save_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   void emit_next();
 
@@ -57,6 +60,8 @@ class TraceSource final : public Source {
   std::int64_t bytes_emitted_{0};
   std::uint64_t packets_emitted_{0};
   bool started_{false};
+  bool pending_{false};
+  std::uint64_t pending_seq_{0};
 };
 
 /// Pass-through sink that records everything it forwards.

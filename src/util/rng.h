@@ -54,6 +54,20 @@ class Rng {
   /// for i != j.  Used to give every traffic source its own stream.
   [[nodiscard]] Rng fork(std::uint64_t stream) const;
 
+  /// Complete engine state for checkpoint/restore.  `seed` is carried
+  /// because fork() mixes from the original seed, so a restored Rng must
+  /// fork identically to the uninterrupted one.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t seed{};
+  };
+
+  [[nodiscard]] State state() const { return State{s_, seed_}; }
+  void restore(const State& st) {
+    s_ = st.s;
+    seed_ = st.seed;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   std::uint64_t seed_{};

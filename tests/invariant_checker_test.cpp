@@ -93,6 +93,10 @@ class LeakyReleaseManager final : public BufferManager {
   }
   std::int64_t total_occupancy() const override { return total_; }
   ByteSize capacity() const override { return capacity_; }
+  // Checkpoint protocol stubs: these fixtures exist to be broken, never
+  // checkpointed.
+  void save_state(CheckpointWriter&) const override {}
+  void restore_state(CheckpointReader&) override {}
 
  private:
   ByteSize capacity_;
@@ -120,6 +124,10 @@ class OverCommitManager final : public BufferManager {
   }
   std::int64_t total_occupancy() const override { return total_; }
   ByteSize capacity() const override { return capacity_; }
+  // Checkpoint protocol stubs: these fixtures exist to be broken, never
+  // checkpointed.
+  void save_state(CheckpointWriter&) const override {}
+  void restore_state(CheckpointReader&) override {}
 
  private:
   ByteSize capacity_;
@@ -151,6 +159,10 @@ class CorruptibleManager final : public BufferManager {
   }
   std::int64_t total_occupancy() const override { return total_; }
   ByteSize capacity() const override { return capacity_; }
+  // Checkpoint protocol stubs: these fixtures exist to be broken, never
+  // checkpointed.
+  void save_state(CheckpointWriter&) const override {}
+  void restore_state(CheckpointReader&) override {}
 
   void corrupt_per_flow(FlowId flow, std::int64_t bytes) {
     per_flow_[static_cast<std::size_t>(flow)] += bytes;
