@@ -19,7 +19,11 @@
 //
 // Flags: --metrics-out=PATH writes the instrumented pass's registry plus
 // derived throughput numbers as a BENCH_*.json artifact (exit 1 if PATH
-// is unwritable).
+// is unwritable).  --million-flow replaces the views above with the
+// million-flow scale run (1e6 resident flows: setup, churn decisions,
+// per-packet threshold checks, and the bytes/flow budget) and writes it
+// as BENCH_million_flow.json when --metrics-out is given.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "admission/admission_controller.h"
+#include "admission/dynamic_manager.h"
+#include "admission/flow_class.h"
 #include "admission/flow_table.h"
 #include "expt/churn_experiment.h"
 #include "obs/export.h"
@@ -103,6 +109,147 @@ DecisionMeasurement measure_decision_throughput(bool instrumented) {
   return m;
 }
 
+// Million-flow scale: 1e6 resident flows drawn from four service
+// profiles (the class registry interns exactly four envelope classes no
+// matter how many flows are resident).  Feasible by eq. 10 on an 800
+// Gb/s link: sum(rho) = 340 Gb/s (u ~ 0.43), sum(sigma) = 21.4 GB,
+// sum(sigma)/(1-u) ~ 37 GB <= 40 GB buffer.
+constexpr std::size_t kMillionFlows = 1'000'000;
+constexpr std::size_t kMillionDecisions = 1'000'000;
+constexpr std::size_t kMillionPacketChecks = 4'000'000;
+
+struct MillionFlowMeasurement {
+  double setup_admits_per_sec{0.0};
+  double decisions_per_sec{0.0};
+  double packet_checks_per_sec{0.0};
+  std::size_t resident{0};
+  std::size_t classes{0};
+  obs::RegistrySnapshot metrics;
+};
+
+MillionFlowMeasurement measure_million_flow() {
+  obs::ScopedMetrics scope;
+
+  admission::FlowTable table{kMillionFlows};
+  admission::AdmissionController controller{{
+      .scheme = admission::Scheme::kFifoThreshold,
+      .link_rate = Rate::gigabits_per_second(800.0),
+      .buffer = ByteSize::megabytes(40960.0),
+  }};
+  const std::array<FlowSpec, 4> profiles{{
+      {Rate::kilobits_per_second(16.0), ByteSize::bytes(1500)},     // telephony
+      {Rate::kilobits_per_second(64.0), ByteSize::kilobytes(4.0)},  // audio
+      {Rate::kilobits_per_second(256.0), ByteSize::kilobytes(16.0)},  // conferencing
+      {Rate::kilobits_per_second(1024.0), ByteSize::kilobytes(64.0)},  // video
+  }};
+  std::array<admission::ClassId, 4> classes{};
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    classes[p] = table.classes().intern(profiles[p],
+                                        controller.threshold_bytes(profiles[p]));
+  }
+
+  MillionFlowMeasurement m;
+  m.resident = kMillionFlows;
+  m.classes = table.classes().class_count();
+
+  // Phase 1: fill to 1e6 resident flows (round-robin over the profiles).
+  std::vector<admission::FlowHandle> handles(kMillionFlows);
+  std::vector<std::uint8_t> profile_of(kMillionFlows);
+  const auto setup_begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kMillionFlows; ++i) {
+    const std::size_t p = i & 3;
+    if (controller.try_admit(profiles[p]) != AdmissionVerdict::kAccepted) {
+      std::fprintf(stderr, "million-flow setup under-admitted: %zu flows\n", i);
+      std::exit(1);
+    }
+    handles[i] = table.admit_class(classes[p]);
+    profile_of[i] = static_cast<std::uint8_t>(p);
+  }
+  const auto setup_end = std::chrono::steady_clock::now();
+  m.setup_admits_per_sec =
+      static_cast<double>(kMillionFlows) /
+      std::chrono::duration<double>(setup_end - setup_begin).count();
+
+  // Phase 2: steady-state churn at 1e6 resident — each decision tears
+  // down a random victim and admits a replacement, so slot reuse hits
+  // random table positions, not a warm LIFO top.
+  Rng rng{42};
+  const auto churn_begin = std::chrono::steady_clock::now();
+  for (std::size_t d = 0; d < kMillionDecisions; ++d) {
+    const std::size_t victim = rng.uniform_u64(kMillionFlows);
+    const std::size_t old_p = profile_of[victim];
+    controller.release(profiles[old_p]);
+    table.teardown(handles[victim]);
+    const std::size_t new_p = d & 3;
+    if (controller.try_admit(profiles[new_p]) != AdmissionVerdict::kAccepted) {
+      std::fprintf(stderr, "million-flow churn admit refused at decision %zu\n", d);
+      std::exit(1);
+    }
+    handles[victim] = table.admit_class(classes[new_p]);
+    profile_of[victim] = static_cast<std::uint8_t>(new_p);
+  }
+  const auto churn_end = std::chrono::steady_clock::now();
+  m.decisions_per_sec =
+      static_cast<double>(kMillionDecisions) /
+      std::chrono::duration<double>(churn_end - churn_begin).count();
+
+  // Phase 3: the per-packet path — Prop-2 threshold checks against the
+  // table at 1e6 resident flows.  The paper's O(1) claim is that this
+  // cost does not grow with the resident count.
+  admission::DynamicBufferManager manager{ByteSize::megabytes(40960.0), table,
+                                          admission::DynamicBufferManager::Policy::kThreshold};
+  const auto pkt_begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kMillionPacketChecks; ++i) {
+    const auto flow = static_cast<FlowId>(rng.uniform_u64(kMillionFlows));
+    if (manager.try_admit(flow, 1500, Time::zero())) {
+      manager.release(flow, 1500, Time::zero());
+    }
+  }
+  const auto pkt_end = std::chrono::steady_clock::now();
+  m.packet_checks_per_sec =
+      static_cast<double>(kMillionPacketChecks) /
+      std::chrono::duration<double>(pkt_end - pkt_begin).count();
+
+  m.metrics = scope.registry().snapshot();
+  return m;
+}
+
+int run_million_flow(const std::string& metrics_out) {
+  std::cout << "# million-flow scale: 1e6 resident flows, 4 envelope classes\n";
+  const MillionFlowMeasurement m = measure_million_flow();
+  CsvWriter csv{std::cout,
+                {"resident_flows", "envelope_classes", "setup_admits_per_sec",
+                 "decisions_per_sec", "packet_checks_per_sec", "bytes_per_flow"}};
+  csv.row({static_cast<double>(m.resident), static_cast<double>(m.classes),
+           m.setup_admits_per_sec, m.decisions_per_sec, m.packet_checks_per_sec,
+           static_cast<double>(admission::FlowTable::bytes_per_flow())});
+
+  if (!metrics_out.empty()) {
+    obs::BenchReport report;
+    report.bench = "bench_million_flow";
+    report.snapshot = m.metrics;
+    report.derived["resident_flows"] = static_cast<double>(m.resident);
+    report.derived["envelope_classes"] = static_cast<double>(m.classes);
+    report.derived["setup_admits_per_sec"] = m.setup_admits_per_sec;
+    report.derived["decisions_per_sec"] = m.decisions_per_sec;
+    report.derived["packet_checks_per_sec"] = m.packet_checks_per_sec;
+    report.derived["flow_table_bytes_per_flow"] =
+        static_cast<double>(admission::FlowTable::bytes_per_flow());
+    report.derived["flow_table_resident_mb"] =
+        static_cast<double>(m.resident * admission::FlowTable::bytes_per_flow()) / 1e6;
+    report.derived["wfq_bytes_per_class"] =
+        static_cast<double>(WfqScheduler::kPerClassStateBytes);
+    try {
+      obs::write_bench_json_file(metrics_out, report);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 const char* scheme_name(ChurnScheme scheme) {
   switch (scheme) {
     case ChurnScheme::kFifoThreshold: return "fifo+thresholds";
@@ -119,12 +266,14 @@ int main(int argc, char** argv) {
 
   Flags flags{argc, argv};
   const std::string metrics_out = flags.get("metrics-out").value_or("");
+  const bool million_flow = flags.get_bool("million-flow", false);
   const auto unknown = flags.unused();
   if (!unknown.empty()) {
-    std::fprintf(stderr, "unknown flag --%s (supported: --metrics-out)\n",
+    std::fprintf(stderr, "unknown flag --%s (supported: --metrics-out, --million-flow)\n",
                  unknown.front().c_str());
     return 2;
   }
+  if (million_flow) return run_million_flow(metrics_out);
 
   std::cout << "# 1) admission-decision throughput, FIFO+thresholds (eq. 10)\n";
   const double per_sec = measure_decision_throughput(false).per_sec;
@@ -137,7 +286,10 @@ int main(int argc, char** argv) {
   std::cout << "# 2) per-flow state under churn (bytes)\n";
   CsvWriter state{std::cout, {"structure", "bytes_per_flow"}};
   state.row({"fifo_bm_flow_table", std::to_string(admission::FlowTable::bytes_per_flow())});
+  state.row({"flow_class_registry_per_class",
+             std::to_string(admission::FlowClassRegistry::bytes_per_class())});
   state.row({"wfq_per_class_state", std::to_string(WfqScheduler::kPerClassStateBytes)});
+  state.row({"wfq_per_queued_packet", std::to_string(WfqScheduler::kPerPacketStateBytes)});
   std::cout << "\n";
 
   std::cout << "# 3) Poisson churn (lambda=150/s, 1/mu=0.5s) on 48 Mb/s, 1 MB buffer\n";

@@ -10,6 +10,10 @@
 //                        simulator's own counters) plus a dequeue-latency
 //                        micro-measurement, exported as a BENCH_*.json
 //                        perf artifact (see scripts/bench_schema.json)
+//
+// BM_DynamicFlowTableThresholds extends the scaling curve to 2^20
+// (~1e6) resident flows through the class-interned FlowTable — the
+// per-packet cost must stay flat where WFQ's grows.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "admission/dynamic_manager.h"
+#include "admission/flow_table.h"
 #include "core/threshold.h"
 #include "expt/experiment.h"
 #include "expt/workloads.h"
@@ -141,6 +147,34 @@ void BM_RpqCalendar(benchmark::State& state) {
 
 BENCHMARK(BM_RpqCalendar)->RangeMultiplier(4)->Range(2, 1 << 14);
 
+/// Per-packet Prop-2 threshold checks against a FlowTable at N resident
+/// flows (the churn-capable DynamicBufferManager path): the million-flow
+/// scale point of the paper's O(1)-per-packet claim.  The per-flow state
+/// is occupancy + a 4-byte class id; thresholds resolve through the
+/// interned envelope class, so the curve stays flat to 2^20 flows.
+void BM_DynamicFlowTableThresholds(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  admission::FlowTable table{flows};
+  const FlowSpec spec{Rate::kilobits_per_second(16.0), ByteSize::bytes(1500)};
+  const admission::ClassId cls = table.classes().intern(spec, 16 * kPkt);
+  for (std::size_t f = 0; f < flows; ++f) (void)table.admit_class(cls);
+  admission::DynamicBufferManager manager{
+      ByteSize::bytes(static_cast<std::int64_t>(flows) * 32 * kPkt), table,
+      admission::DynamicBufferManager::Policy::kThreshold};
+  const auto arrivals = make_arrivals(flows, 1 << 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FlowId flow = arrivals[i];
+    i = (i + 1) % arrivals.size();
+    if (manager.try_admit(flow, kPkt, Time::zero())) {
+      manager.release(flow, kPkt, Time::zero());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_DynamicFlowTableThresholds)->RangeMultiplier(16)->Range(1 << 8, 1 << 20);
+
 /// Sweep-engine substrate: per-task dispatch overhead of the work-
 /// stealing pool.  A simulation run costs milliseconds, so the pool's
 /// microsecond-scale dispatch must be (and is) negligible; this guards
@@ -229,25 +263,35 @@ struct KernelTicker {
 };
 
 /// Events/s of the bare calendar + dispatch loop, with no packets, no
-/// schedulers, and no metrics recording in the way.  Long enough (a few
-/// million events) that one number is stable run to run — the anchor for
-/// the event-kernel perf trajectory next to the noisier (tens of ms)
-/// Table-1 scenario.
+/// schedulers, and no metrics recording in the way.  Each rep runs a few
+/// million events; the reported rate is the median of kKernelReps reps
+/// (bit-identical simulations — only wall time varies), the same
+/// convention events_per_sec uses for the Table-1 scenario.
 double measure_kernel_events_per_sec() {
   constexpr int kTickers = 64;
   constexpr std::int64_t kEvents = 4'000'000;
-  Simulator sim;
-  std::vector<KernelTicker> tickers(kTickers);
-  for (int i = 0; i < kTickers; ++i) {
-    tickers[static_cast<std::size_t>(i)] =
-        KernelTicker{&sim, Time::nanoseconds(997 + 13 * i), kEvents / kTickers};
-    tickers[static_cast<std::size_t>(i)].arm();
+  constexpr int kKernelReps = 5;
+  std::vector<double> rates;
+  rates.reserve(kKernelReps);
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    Simulator sim;
+    std::vector<KernelTicker> tickers(kTickers);
+    for (int i = 0; i < kTickers; ++i) {
+      tickers[static_cast<std::size_t>(i)] =
+          KernelTicker{&sim, Time::nanoseconds(997 + 13 * i), kEvents / kTickers};
+      tickers[static_cast<std::size_t>(i)].arm();
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    sim.run();
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(end - begin).count();
+    if (seconds > 0.0) {
+      rates.push_back(static_cast<double>(sim.events_processed()) / seconds);
+    }
   }
-  const auto begin = std::chrono::steady_clock::now();
-  sim.run();
-  const auto end = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(end - begin).count();
-  return seconds > 0.0 ? static_cast<double>(sim.events_processed()) / seconds : 0.0;
+  if (rates.empty()) return 0.0;
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
 }
 
 /// The --metrics-out path: instrumented Table-1 FIFO+thresholds runs

@@ -1,34 +1,52 @@
 #!/usr/bin/env python3
-"""Perf floor for the event kernel: fails when a BENCH JSON reports a
-Table-1 event rate below a conservative minimum.
+"""Perf floors for the committed BENCH artifacts: fails when a BENCH
+JSON reports a derived rate below a conservative minimum.
 
-The floor is deliberately far below the rates a development machine
-records (tens of millions of events/s): it is not a regression detector
-for small slowdowns — shared CI runners are too noisy for that — but a
-tripwire for the failure modes that motivated the event kernel rework,
-such as reintroducing a per-event heap allocation or an accidental
-O(n)-per-op calendar, which each cost an order of magnitude.
+The floors are deliberately far below the rates a development machine
+records (tens of millions of events/s): they are not regression
+detectors for small slowdowns — shared CI runners are too noisy for
+that — but tripwires for the failure modes that motivated the event
+kernel rework and the SoA flow-state rework, such as reintroducing a
+per-event heap allocation, an accidental O(n)-per-op calendar, or a
+per-packet hash lookup on the admission path, which each cost an order
+of magnitude.
 
 Usage:
     scripts/check_perf_floor.py [--floor=EVENTS_PER_SEC] BENCH.json [...]
 
-Each report's floor is looked up by its "bench" name in FLOORS (falling
-back to DEFAULT_FLOOR); --floor overrides the lookup for every file.
-Only the Python standard library is used.
+Each report's floors are looked up by its "bench" name in FLOORS as a
+{derived-metric: floor} dict (falling back to DEFAULT_FLOORS); every
+listed metric must be present and at or above its floor.  --floor
+overrides the lookup for every file with a single events_per_sec floor
+(the pre-dict behaviour, kept for one-off local runs).  Only the Python
+standard library is used.
 """
 import json
 import sys
 from pathlib import Path
 
-DEFAULT_FLOOR = 5.0e5
-# Per-bench floors where the workload differs materially from the Table-1
-# single-multiplexer runs.  bench_fabric times a 16-switch leaf-spine
-# fabric (16 hosts, 160 ports, per-hop routing + end-to-end audit per
-# packet), so its per-event cost is inherently higher; development
-# machines record several million events/s, making 1e5 the same
-# order-of-magnitude tripwire DEFAULT_FLOOR is for the kernel.
+DEFAULT_FLOORS = {"events_per_sec": 5.0e5}
+# Per-bench floors where the workload differs materially from the
+# Table-1 single-multiplexer runs.
+#
+# bench_fabric times a 16-switch leaf-spine fabric (16 hosts, 160
+# ports, per-hop routing + end-to-end audit per packet), so its
+# per-event cost is inherently higher; development machines record
+# several million events/s, making 1e5 the same order-of-magnitude
+# tripwire DEFAULT_FLOORS is for the kernel.
+#
+# bench_million_flow holds one million resident flows in the SoA
+# FlowTable and measures admission churn (decisions_per_sec: full
+# admit/teardown round trips) and the O(1) per-packet threshold check
+# (packet_checks_per_sec).  Development machines record ~5M decisions/s
+# and ~30M checks/s; the floors trip on a return to per-flow hashing or
+# per-decision allocation, not on runner noise.
 FLOORS = {
-    "bench_fabric": 1.0e5,
+    "bench_fabric": {"events_per_sec": 1.0e5},
+    "bench_million_flow": {
+        "decisions_per_sec": 1.0e6,
+        "packet_checks_per_sec": 5.0e6,
+    },
 }
 
 
@@ -47,21 +65,24 @@ def main(argv: list[str]) -> int:
     failures = 0
     for path in paths:
         report = json.loads(path.read_text())
-        floor = override
-        if floor is None:
-            floor = FLOORS.get(report.get("bench", ""), DEFAULT_FLOOR)
-        rate = report.get("derived", {}).get("events_per_sec")
-        if rate is None:
-            print(f"{path}: missing derived.events_per_sec", file=sys.stderr)
-            failures += 1
-        elif rate < floor:
-            print(
-                f"{path}: events_per_sec {rate:.0f} below floor {floor:.0f}",
-                file=sys.stderr,
-            )
-            failures += 1
+        if override is not None:
+            floors = {"events_per_sec": override}
         else:
-            print(f"{path}: events_per_sec {rate:.0f} >= floor {floor:.0f}")
+            floors = FLOORS.get(report.get("bench", ""), DEFAULT_FLOORS)
+        derived = report.get("derived", {})
+        for metric, floor in sorted(floors.items()):
+            rate = derived.get(metric)
+            if rate is None:
+                print(f"{path}: missing derived.{metric}", file=sys.stderr)
+                failures += 1
+            elif rate < floor:
+                print(
+                    f"{path}: {metric} {rate:.0f} below floor {floor:.0f}",
+                    file=sys.stderr,
+                )
+                failures += 1
+            else:
+                print(f"{path}: {metric} {rate:.0f} >= floor {floor:.0f}")
     return 1 if failures else 0
 
 

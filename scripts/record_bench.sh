@@ -35,6 +35,11 @@ echo "== bench_admission_churn =="
   --metrics-out="$OUT_DIR/BENCH_admission_churn_$LABEL.json" \
   > "$OUT_DIR/bench_admission_churn_$LABEL.txt"
 
+echo "== bench_admission_churn --million-flow =="
+"$BUILD_DIR/bench/bench_admission_churn" --million-flow \
+  --metrics-out="$OUT_DIR/BENCH_million_flow_$LABEL.json" \
+  > "$OUT_DIR/bench_million_flow_$LABEL.txt"
+
 echo "== bench_fabric =="
 "$BUILD_DIR/bench/bench_fabric" --seeds=2 \
   --metrics-out="$OUT_DIR/BENCH_fabric_$LABEL.json" \
@@ -51,7 +56,8 @@ python3 "$SCRIPT_DIR/validate_bench_json.py" "$OUT_DIR"/BENCH_*_"$LABEL".json
 echo "== perf floor =="
 python3 "$SCRIPT_DIR/check_perf_floor.py" \
   "$OUT_DIR/BENCH_event_kernel_$LABEL.json" \
-  "$OUT_DIR/BENCH_fabric_$LABEL.json"
+  "$OUT_DIR/BENCH_fabric_$LABEL.json" \
+  "$OUT_DIR/BENCH_million_flow_$LABEL.json"
 
 echo "artifacts in $OUT_DIR/:"
 ls -l "$OUT_DIR"

@@ -20,11 +20,31 @@ ChurnDriver::ChurnDriver(Simulator& sim, AdmissionController& controller, FlowTa
   assert(config_.reap_interval > Time::zero());
   assert(!config_.mix.empty() && "churn needs at least one mix entry");
   mix_cumulative_.reserve(config_.mix.size());
+  mix_class_.reserve(config_.mix.size());
+  mix_group_.reserve(config_.mix.size());
   double total = 0.0;
   for (const auto& entry : config_.mix) {
     assert(entry.weight > 0.0);
     total += entry.weight;
     mix_cumulative_.push_back(total);
+    // Intern the profile's envelope class once; every arrival of this
+    // profile then admits by class id.  The threshold is a pure function
+    // of the envelope and the controller's static (B, R) config, so
+    // caching it in the class preserves per-arrival computation exactly.
+    const FlowSpec spec{.rho = entry.profile.token_rate, .sigma = entry.profile.bucket};
+    mix_class_.push_back(table_.classes().intern(spec, controller_.threshold_bytes(spec)));
+    mix_group_.push_back(entry.hybrid_group);
+  }
+  if (config_.auto_group && controller_.config().scheme == Scheme::kHybrid) {
+    // Promote Prop-3 from a benchmark sketch to the live path: group the
+    // interned classes (not the resident flows) with the exact DP, then
+    // resolve each arrival's queue with one array load.
+    table_.classes().plan_groups(controller_.config().hybrid_queues,
+                                 controller_.config().link_rate);
+    for (std::size_t i = 0; i < mix_class_.size(); ++i) {
+      mix_group_[i] = table_.classes().group_of(mix_class_[i]);
+      assert(mix_group_[i] < controller_.config().hybrid_queues);
+    }
   }
   slots_.resize(table_.slot_count());
 }
@@ -47,14 +67,12 @@ void ChurnDriver::schedule_next_arrival() {
   sim_.in(gap, arrive);
 }
 
-const TrafficProfile& ChurnDriver::pick_profile(std::size_t& group) {
+std::size_t ChurnDriver::pick_mix_index() {
   const double u = rng_.uniform(0.0, mix_cumulative_.back());
   const auto it = std::upper_bound(mix_cumulative_.begin(), mix_cumulative_.end(), u);
-  const auto index = static_cast<std::size_t>(
+  return static_cast<std::size_t>(
       std::min<std::ptrdiff_t>(it - mix_cumulative_.begin(),
                                static_cast<std::ptrdiff_t>(config_.mix.size()) - 1));
-  group = config_.mix[index].hybrid_group;
-  return config_.mix[index].profile;
 }
 
 void ChurnDriver::advance_integrals() {
@@ -69,8 +87,9 @@ void ChurnDriver::advance_integrals() {
 
 void ChurnDriver::on_arrival() {
   ++counters_.arrivals;
-  std::size_t group = 0;
-  const TrafficProfile& profile = pick_profile(group);
+  const std::size_t index = pick_mix_index();
+  const TrafficProfile& profile = config_.mix[index].profile;
+  const std::size_t group = mix_group_[index];
   const FlowSpec spec{.rho = profile.token_rate, .sigma = profile.bucket};
 
   if (table_.active_count() >= config_.max_concurrent) {
@@ -93,7 +112,7 @@ void ChurnDriver::on_arrival() {
   }
 
   advance_integrals();
-  const FlowHandle handle = table_.admit(spec, controller_.threshold_bytes(spec));
+  const FlowHandle handle = table_.admit_class(mix_class_[index]);
   if (slots_.size() < table_.slot_count()) slots_.resize(table_.slot_count());
   Slot& slot = slots_[handle.slot];
   assert(!slot.source && "recycled slot still owns a live source");

@@ -60,6 +60,12 @@ class ChurnDriver {
     std::size_t max_concurrent{std::numeric_limits<std::size_t>::max()};
     BurstDistribution burst_distribution{BurstDistribution::kExponential};
     double pareto_shape{1.5};
+    /// Under Scheme::kHybrid, ignore the mix entries' hand-assigned
+    /// hybrid_group and derive each profile's queue from the Prop-3
+    /// grouping plan over the interned envelope classes
+    /// (FlowClassRegistry::plan_groups).  Off by default so existing
+    /// trajectories are unchanged.
+    bool auto_group{false};
   };
 
   struct Counters {
@@ -136,7 +142,7 @@ class ChurnDriver {
   void on_arrival();
   void on_departure(FlowHandle handle);
   void try_reap(FlowHandle handle);
-  const TrafficProfile& pick_profile(std::size_t& group);
+  [[nodiscard]] std::size_t pick_mix_index();
   void advance_integrals();
 
   Simulator& sim_;
@@ -149,6 +155,12 @@ class ChurnDriver {
   Counters counters_;
   std::vector<Slot> slots_;
   std::vector<double> mix_cumulative_;
+  /// Per-mix-entry interned envelope class: the arrival hot path admits
+  /// via FlowTable::admit_class (pure slot recycling, no hashing).
+  std::vector<ClassId> mix_class_;
+  /// Per-mix-entry hybrid queue — the entry's hand-assigned group, or
+  /// the Prop-3 plan's group under Config::auto_group.
+  std::vector<std::size_t> mix_group_;
   std::size_t holding_{0};
   bool started_{false};
   // Time integrals for the churn metrics.

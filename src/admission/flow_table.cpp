@@ -12,9 +12,7 @@ FlowTable::FlowTable(std::size_t initial_slots) {
   if (initial_slots == 0) initial_slots = 1;
   assert(initial_slots <= std::numeric_limits<std::uint32_t>::max());
   occupancy_.resize(initial_slots, 0);
-  threshold_.resize(initial_slots, 0);
-  sigma_bytes_.resize(initial_slots, 0);
-  rho_bps_.resize(initial_slots, 0.0);
+  class_.resize(initial_slots, 0);
   generation_.resize(initial_slots, 0);
   free_slots_.reserve(initial_slots);
   // Push in reverse so slot 0 is recycled first: small FlowIds stay dense.
@@ -28,9 +26,7 @@ std::uint32_t FlowTable::take_slot() {
     const std::size_t old = generation_.size();
     const std::size_t grown = old * 2;
     occupancy_.resize(grown, 0);
-    threshold_.resize(grown, 0);
-    sigma_bytes_.resize(grown, 0);
-    rho_bps_.resize(grown, 0.0);
+    class_.resize(grown, 0);
     generation_.resize(grown, 0);
     for (std::size_t s = grown; s-- > old + 1;) {
       free_slots_.push_back(static_cast<std::uint32_t>(s));
@@ -44,12 +40,15 @@ std::uint32_t FlowTable::take_slot() {
 
 FlowHandle FlowTable::admit(const FlowSpec& spec, std::int64_t threshold_bytes) {
   assert(threshold_bytes >= 0);
+  return admit_class(classes_.intern(spec, threshold_bytes));
+}
+
+FlowHandle FlowTable::admit_class(ClassId cls) {
+  assert(cls < classes_.class_count());
   const std::uint32_t slot = take_slot();
   assert((generation_[slot] & 1u) == 0 && "free slot must have an even generation");
   occupancy_[slot] = 0;
-  threshold_[slot] = threshold_bytes;
-  sigma_bytes_[slot] = spec.sigma.count();
-  rho_bps_[slot] = spec.rho.bps();
+  class_[slot] = cls;
   ++generation_[slot];  // even -> odd: occupied
   ++active_count_;
   resident_metric_.set(static_cast<std::int64_t>(active_count_));
@@ -77,34 +76,36 @@ bool FlowTable::valid(FlowHandle handle) const {
 void FlowTable::save_state(CheckpointWriter& w) const {
   w.begin_section("flow_table");
   w.write_i64_vector(occupancy_);
-  w.write_i64_vector(threshold_);
-  w.write_i64_vector(sigma_bytes_);
-  w.write_u64(rho_bps_.size());
-  for (const double rho : rho_bps_) w.write_f64(rho);
+  w.write_u64(class_.size());
+  for (const ClassId c : class_) w.write_u32(c);
   w.write_u64(generation_.size());
   for (const std::uint32_t g : generation_) w.write_u32(g);
   w.write_u64(free_slots_.size());
   for (const std::uint32_t s : free_slots_) w.write_u32(s);
   w.write_u64(active_count_);
   w.end_section();
+  classes_.save_state(w);
 }
 
 void FlowTable::restore_state(CheckpointReader& r) {
   r.begin_section("flow_table");
   occupancy_ = r.read_i64_vector();
-  threshold_ = r.read_i64_vector();
-  sigma_bytes_ = r.read_i64_vector();
-  rho_bps_.assign(static_cast<std::size_t>(r.read_u64()), 0.0);
-  for (double& rho : rho_bps_) rho = r.read_f64();
+  class_.assign(static_cast<std::size_t>(r.read_u64()), 0);
+  for (ClassId& c : class_) c = r.read_u32();
   generation_.assign(static_cast<std::size_t>(r.read_u64()), 0);
   for (std::uint32_t& g : generation_) g = r.read_u32();
   free_slots_.assign(static_cast<std::size_t>(r.read_u64()), 0);
   for (std::uint32_t& s : free_slots_) s = r.read_u32();
   active_count_ = static_cast<std::size_t>(r.read_u64());
   r.end_section();
-  if (occupancy_.size() != generation_.size() || threshold_.size() != generation_.size() ||
-      sigma_bytes_.size() != generation_.size() || rho_bps_.size() != generation_.size()) {
+  classes_.restore_state(r);
+  if (occupancy_.size() != generation_.size() || class_.size() != generation_.size()) {
     throw CheckpointFormatError("flow table array sizes disagree");
+  }
+  for (std::size_t s = 0; s < class_.size(); ++s) {
+    if ((generation_[s] & 1u) != 0 && class_[s] >= classes_.class_count()) {
+      throw CheckpointFormatError("flow table slot references an unknown class");
+    }
   }
   resident_metric_.set(static_cast<std::int64_t>(active_count_));
 }

@@ -13,11 +13,20 @@
 // a recycled slot is detected instead of silently reading the new
 // occupant.  Slot indices double as the simulator's FlowId, which keeps
 // every FlowId-indexed structure (schedulers, stats) dense under churn.
+//
+// Envelope state is interned, not stored per flow: each slot carries a
+// 4-byte ClassId into a FlowClassRegistry whose (sigma, rho, threshold)
+// lanes are shared by every flow of the same service profile.  The
+// per-packet threshold check is then occupancy_[slot] (per flow) against
+// threshold_[class_[slot]] (per class, L1-resident), and the dense
+// per-flow budget drops from 40 to 20 bytes — the bytes_per_flow()
+// figure the scalability bench reports against WFQ's footprint.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "admission/flow_class.h"
 #include "core/flow_spec.h"
 #include "obs/metrics.h"
 #include "sim/packet.h"
@@ -47,8 +56,14 @@ class FlowTable {
   explicit FlowTable(std::size_t initial_slots = 1024);
 
   /// Registers a flow with its declared envelope and the occupancy
-  /// threshold (Prop 1/2) assigned by admission control.  O(1).
+  /// threshold (Prop 1/2) assigned by admission control.  Interns the
+  /// (sigma, rho, threshold) triple into the class registry; amortized
+  /// O(1), and an exact hash hit for every repeat profile.
   FlowHandle admit(const FlowSpec& spec, std::int64_t threshold_bytes);
+
+  /// Hot-path admit for a pre-interned class (see classes().intern):
+  /// pure slot recycling, no hash lookup.  O(1).
+  FlowHandle admit_class(ClassId cls);
 
   /// Frees the flow's slot for recycling.  The slot's occupancy must have
   /// drained to zero (packets of a departed flow no longer occupy buffer).
@@ -62,11 +77,16 @@ class FlowTable {
   }
 
   [[nodiscard]] std::int64_t occupancy(std::uint32_t slot) const { return occupancy_[slot]; }
-  [[nodiscard]] std::int64_t threshold(std::uint32_t slot) const { return threshold_[slot]; }
-  [[nodiscard]] FlowSpec spec(std::uint32_t slot) const {
-    return FlowSpec{.rho = Rate::bits_per_second(rho_bps_[slot]),
-                    .sigma = ByteSize::bytes(sigma_bytes_[slot])};
+  [[nodiscard]] std::int64_t threshold(std::uint32_t slot) const {
+    return classes_.threshold(class_[slot]);
   }
+  [[nodiscard]] FlowSpec spec(std::uint32_t slot) const { return classes_.spec(class_[slot]); }
+  [[nodiscard]] ClassId class_of(std::uint32_t slot) const { return class_[slot]; }
+
+  /// The shared envelope-class registry (interning, per-class lanes and
+  /// the Prop-3 grouping plan).
+  [[nodiscard]] FlowClassRegistry& classes() { return classes_; }
+  [[nodiscard]] const FlowClassRegistry& classes() const { return classes_; }
 
   /// Adjusts the flow's buffer occupancy counter (positive on packet
   /// admission, negative on release).
@@ -77,20 +97,20 @@ class FlowTable {
   [[nodiscard]] std::size_t active_count() const { return active_count_; }
   [[nodiscard]] std::size_t slot_count() const { return generation_.size(); }
 
-  /// Bytes of dense per-flow state: occupancy + threshold + envelope
-  /// (sigma, rho) + generation + free-list entry.  This is the number the
-  /// scalability bench reports against WFQ's per-flow footprint.
-  /// Checkpointable: every per-slot array, the free list (order matters —
-  /// LIFO recycling is part of the deterministic trajectory), and the
-  /// active count.
+  /// Checkpointable: the class registry, every per-slot array, the free
+  /// list (order matters — LIFO recycling is part of the deterministic
+  /// trajectory), and the active count.
   void save_state(CheckpointWriter& w) const;
   void restore_state(CheckpointReader& r);
 
+  /// Bytes of dense per-flow state: occupancy + class id + generation +
+  /// free-list entry.  This is the number the scalability bench reports
+  /// against WFQ's per-flow footprint; the shared per-class lanes
+  /// (FlowClassRegistry::bytes_per_class) amortize to ~0 over the flows
+  /// of a class.
   [[nodiscard]] static constexpr std::size_t bytes_per_flow() {
-    return sizeof(std::int64_t)   // occupancy counter
-           + sizeof(std::int64_t) // threshold
-           + sizeof(std::int64_t) // sigma
-           + sizeof(double)       // rho
+    return sizeof(std::int64_t)     // occupancy counter
+           + sizeof(ClassId)        // envelope class
            + sizeof(std::uint32_t)  // generation
            + sizeof(std::uint32_t); // free-list slot (amortized)
   }
@@ -101,10 +121,9 @@ class FlowTable {
   // Structure-of-arrays: the admit/teardown/account hot paths touch only
   // the arrays they need.
   std::vector<std::int64_t> occupancy_;
-  std::vector<std::int64_t> threshold_;
-  std::vector<std::int64_t> sigma_bytes_;
-  std::vector<double> rho_bps_;
+  std::vector<ClassId> class_;
   std::vector<std::uint32_t> generation_;
+  FlowClassRegistry classes_;
   /// LIFO stack of free slot indices: the most recently freed (warmest)
   /// slot is reused first.
   std::vector<std::uint32_t> free_slots_;

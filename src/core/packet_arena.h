@@ -1,0 +1,94 @@
+// Index-linked packet recycling arena.
+//
+// Schedulers that hold queued packets per class used one std::deque per
+// class: correct, but each deque owns its own chunk list, so a million
+// mostly-idle classes pin a million chunk allocations and queue hops
+// touch scattered chunks.  The arena replaces them with ONE pair of
+// parallel vectors shared by every class: values_[i] holds a queued
+// record and next_[i] the index of its successor, so a per-class FIFO is
+// just (head, tail) indices and enqueue/dequeue are two array writes.
+//
+// Recycling: released nodes push onto an intrusive LIFO free list
+// threaded through next_, so the arena's footprint is the *peak* backlog
+// and steady-state churn allocates nothing (the sim_alloc test's
+// contract).  LIFO reuse also keeps the hottest node's cache lines live,
+// the same policy as FlowTable's slot recycling.
+//
+// Determinism: node indices are assigned by a deterministic function of
+// the allocate/release sequence and never influence service order (FIFO
+// order lives in the links, priority order in the caller's heap).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bufq {
+
+template <typename T>
+class PacketArena {
+ public:
+  /// Null link / empty-list sentinel.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Files `value` into a recycled (preferred) or fresh node and returns
+  /// its index.  The node's link starts at kNil.
+  [[nodiscard]] std::uint32_t allocate(const T& value) {
+    std::uint32_t idx = free_head_;
+    if (idx != kNil) {
+      free_head_ = next_[idx];
+      values_[idx] = value;
+      next_[idx] = kNil;
+    } else {
+      idx = static_cast<std::uint32_t>(values_.size());
+      assert(values_.size() < kNil);
+      values_.push_back(value);
+      next_.push_back(kNil);
+    }
+    ++live_;
+    return idx;
+  }
+
+  /// Returns a node to the free list.  The caller must have unlinked it.
+  void recycle(std::uint32_t idx) {
+    assert(idx < values_.size());
+    assert(live_ > 0);
+    next_[idx] = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t idx) { return values_[idx]; }
+  [[nodiscard]] const T& operator[](std::uint32_t idx) const { return values_[idx]; }
+
+  [[nodiscard]] std::uint32_t next(std::uint32_t idx) const { return next_[idx]; }
+  void set_next(std::uint32_t idx, std::uint32_t next_idx) { next_[idx] = next_idx; }
+
+  /// Nodes currently allocated (not on the free list).
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// Nodes ever created — the peak-backlog footprint.
+  [[nodiscard]] std::size_t capacity() const { return values_.size(); }
+
+  /// Drops every node but keeps the vectors' capacity (checkpoint
+  /// restore rebuilds into the same storage without reallocating).
+  void clear() {
+    values_.clear();
+    next_.clear();
+    free_head_ = kNil;
+    live_ = 0;
+  }
+
+  /// Bytes per queued record: the value plus its 4-byte link.
+  [[nodiscard]] static constexpr std::size_t bytes_per_node() {
+    return sizeof(T) + sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<T> values_;
+  /// Successor links for live nodes; free-list links for recycled ones.
+  std::vector<std::uint32_t> next_;
+  std::uint32_t free_head_{kNil};
+  std::size_t live_{0};
+};
+
+}  // namespace bufq

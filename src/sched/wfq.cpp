@@ -11,6 +11,8 @@
 namespace bufq {
 namespace {
 
+constexpr std::uint32_t kNil = PacketArena<int>::kNil;
+
 std::vector<std::size_t> identity_map(std::size_t n) {
   std::vector<std::size_t> map(n);
   std::iota(map.begin(), map.end(), std::size_t{0});
@@ -27,30 +29,33 @@ WfqScheduler::WfqScheduler(BufferManager& manager, Rate link_rate,
                            std::vector<double> class_weights)
     : manager_{manager}, link_rate_{link_rate}, flow_to_class_{std::move(flow_to_class)} {
   assert(link_rate.bps() > 0.0);
-  classes_.resize(class_weights.size());
-  for (std::size_t c = 0; c < class_weights.size(); ++c) {
-    assert(class_weights[c] > 0.0 && "WFQ weights must be positive");
-    classes_[c].weight = class_weights[c];
+  const std::size_t n = class_weights.size();
+  weight_ = std::move(class_weights);
+  for ([[maybe_unused]] const double w : weight_) {
+    assert(w > 0.0 && "WFQ weights must be positive");
   }
-  for (std::size_t cls : flow_to_class_) {
-    assert(cls < classes_.size());
-    (void)cls;
+  last_finish_.assign(n, 0.0);
+  head_.assign(n, kNil);
+  tail_.assign(n, kNil);
+  depth_.assign(n, 0);
+  for ([[maybe_unused]] std::size_t cls : flow_to_class_) {
+    assert(cls < n);
   }
 }
 
 void WfqScheduler::set_class_weight(std::size_t cls, double weight) {
-  assert(cls < classes_.size());
+  assert(cls < weight_.size());
   assert(weight > 0.0 && "WFQ weights must be positive");
-  assert(classes_[cls].queue.empty() && "weights may only change while the class is idle");
-  classes_[cls].weight = weight;
+  assert(depth_[cls] == 0 && "weights may only change while the class is idle");
+  weight_[cls] = weight;
   // A recycled slot is a fresh flow: forget the previous occupant's finish
   // stamp so the newcomer starts from the current fair-share level.
-  classes_[cls].last_finish = 0.0;
+  last_finish_[cls] = 0.0;
 }
 
 std::size_t WfqScheduler::class_queue_length(std::size_t cls) const {
-  assert(cls < classes_.size());
-  return classes_[cls].queue.size();
+  assert(cls < depth_.size());
+  return depth_[cls];
 }
 
 BUFQ_HOT void WfqScheduler::advance_virtual_time(Time now) {
@@ -84,18 +89,21 @@ BUFQ_HOT bool WfqScheduler::enqueue(const Packet& packet, Time now) {
 
   assert(packet.flow >= 0 && static_cast<std::size_t>(packet.flow) < flow_to_class_.size());
   const std::size_t cls = flow_to_class_[static_cast<std::size_t>(packet.flow)];
-  ClassState& state = classes_[cls];
 
-  const double start = std::max(virtual_time_, state.last_finish);
-  const double finish = start + static_cast<double>(packet.size_bytes) * 8.0 / state.weight;
-  state.last_finish = finish;
+  const double start = std::max(virtual_time_, last_finish_[cls]);
+  const double finish = start + static_cast<double>(packet.size_bytes) * 8.0 / weight_[cls];
+  last_finish_[cls] = finish;
 
-  if (state.queue.empty()) {
+  const std::uint32_t node = arena_.allocate(StampedPacket{packet, finish});
+  if (head_[cls] == kNil) {
+    head_[cls] = node;
     hol_.push({finish, cls});
-    active_weight_ += state.weight;
+    active_weight_ += weight_[cls];
+  } else {
+    arena_.set_next(tail_[cls], node);
   }
-  BUFQ_LINT_SUPPRESS("hot-path-container-growth", "per-class deque needs pop_front; chunked growth amortizes and chunks are reused");
-  state.queue.push_back(StampedPacket{packet, finish});
+  tail_[cls] = node;
+  ++depth_[cls];
   ++backlogged_packets_;
   backlog_bytes_ += packet.size_bytes;
   return true;
@@ -108,18 +116,21 @@ BUFQ_HOT std::optional<Packet> WfqScheduler::dequeue(Time now) {
 
   const std::size_t cls = hol_.pop().second;
 
-  ClassState& state = classes_[cls];
-  assert(!state.queue.empty());
-  const StampedPacket head = state.queue.front();
-  state.queue.pop_front();
+  const std::uint32_t node = head_[cls];
+  assert(node != kNil);
+  const StampedPacket head = arena_[node];
+  head_[cls] = arena_.next(node);
+  arena_.recycle(node);
+  --depth_[cls];
 
-  if (state.queue.empty()) {
-    active_weight_ -= state.weight;
+  if (head_[cls] == kNil) {
+    tail_[cls] = kNil;
+    active_weight_ -= weight_[cls];
     // Keep the active-weight accumulator exactly zero when idle so long
     // runs do not accumulate float dust.
     if (backlogged_packets_ == 1) active_weight_ = 0.0;
   } else {
-    hol_.push({state.queue.front().finish, cls});
+    hol_.push({arena_[head_[cls]].finish, cls});
   }
 
   --backlogged_packets_;
@@ -131,20 +142,22 @@ BUFQ_HOT std::optional<Packet> WfqScheduler::dequeue(Time now) {
 }
 
 void WfqScheduler::save_state(CheckpointWriter& w) const {
+  // Byte-identical to the pre-arena format: classes in index order, each
+  // class's queue walked head to tail.
   w.begin_section("sched.wfq");
   w.write_f64(virtual_time_);
   w.write_f64(active_weight_);
   w.write_time(vt_updated_);
   w.write_u64(backlogged_packets_);
   w.write_i64(backlog_bytes_);
-  w.write_u64(classes_.size());
-  for (const ClassState& state : classes_) {
-    w.write_f64(state.weight);
-    w.write_f64(state.last_finish);
-    w.write_u64(state.queue.size());
-    for (const StampedPacket& sp : state.queue) {
-      save_packet(w, sp.packet);
-      w.write_f64(sp.finish);
+  w.write_u64(weight_.size());
+  for (std::size_t cls = 0; cls < weight_.size(); ++cls) {
+    w.write_f64(weight_[cls]);
+    w.write_f64(last_finish_[cls]);
+    w.write_u64(depth_[cls]);
+    for (std::uint32_t node = head_[cls]; node != kNil; node = arena_.next(node)) {
+      save_packet(w, arena_[node].packet);
+      w.write_f64(arena_[node].finish);
     }
   }
   w.end_section();
@@ -158,28 +171,37 @@ void WfqScheduler::restore_state(CheckpointReader& r) {
   backlogged_packets_ = r.read_u64();
   backlog_bytes_ = r.read_i64();
   const std::uint64_t class_count = r.read_u64();
-  if (class_count != classes_.size()) {
+  if (class_count != weight_.size()) {
     throw CheckpointFormatError("WFQ class count mismatch on restore");
   }
   hol_.clear();
-  for (ClassState& state : classes_) {
-    state.weight = r.read_f64();
-    state.last_finish = r.read_f64();
-    state.queue.clear();
+  arena_.clear();
+  for (std::size_t cls = 0; cls < weight_.size(); ++cls) {
+    weight_[cls] = r.read_f64();
+    last_finish_[cls] = r.read_f64();
+    head_[cls] = kNil;
+    tail_[cls] = kNil;
     const std::uint64_t depth = r.read_u64();
+    depth_[cls] = static_cast<std::uint32_t>(depth);
     for (std::uint64_t i = 0; i < depth; ++i) {
       StampedPacket sp;
       sp.packet = load_packet(r);
       sp.finish = r.read_f64();
-      state.queue.push_back(sp);
+      const std::uint32_t node = arena_.allocate(sp);
+      if (head_[cls] == kNil) {
+        head_[cls] = node;
+      } else {
+        arena_.set_next(tail_[cls], node);
+      }
+      tail_[cls] = node;
     }
   }
   // Rebuild head-of-line stamps from the restored queues in class-index
   // order; (finish, class) keys are unique per class, so pop order is
   // independent of insertion order and the heap's internal layout.
-  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
-    if (!classes_[cls].queue.empty()) {
-      hol_.push({classes_[cls].queue.front().finish, cls});
+  for (std::size_t cls = 0; cls < weight_.size(); ++cls) {
+    if (head_[cls] != kNil) {
+      hol_.push({arena_[head_[cls]].finish, cls});
     }
   }
   r.end_section();

@@ -15,6 +15,9 @@ CalendarQueue::CalendarQueue(int width_shift, std::size_t bucket_count_log2)
 
 Time CalendarQueue::min_time() const {
   assert(size_ > 0);
+  // A live batch holds the global minimum: everything outside it is
+  // beyond the batch window.
+  if (batch_live()) return batch_keys_[batch_pos_].time;
   Time best = Time::max();
   if (ring_size_ > 0) {
     const Bucket& bucket = buckets_[index_of(first_occupied_window())];
@@ -24,6 +27,31 @@ Time CalendarQueue::min_time() const {
   // since the last pop (drains are lazy), so it can beat the ring.
   if (!overflow_.empty() && overflow_.top().time < best) best = overflow_.top().time;
   return best;
+}
+
+bool CalendarQueue::begin_batch(std::size_t idx, std::int64_t w, Time limit) {
+  Bucket& bucket = buckets_[idx];
+  // Honor the no-mutation contract: only drain once we know the head
+  // will actually be popped (its time is <= limit).
+  if (bucket[min_index(bucket)].time > limit) return false;
+  assert(!batch_live() && batch_.empty() && batch_keys_.empty());
+  cursor_window_ = w;
+  batch_end_ns_ = ((w + 1) << width_shift_) - 1;
+  const std::size_t n = bucket.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_keys_.push_back(
+        BatchKey{bucket[i].time, bucket[i].seq, static_cast<std::uint32_t>(i)});
+    batch_.push_back(std::move(bucket[i]));
+  }
+  bucket.clear();
+  occupancy_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  ring_size_ -= n;
+  std::sort(batch_keys_.begin(), batch_keys_.end(),
+            [](const BatchKey& a, const BatchKey& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  return true;
 }
 
 void CalendarQueue::rebuild_at(std::int64_t window) {

@@ -35,6 +35,20 @@
 // (distinct times then hash to distinct windows), each re-filing the
 // ring.  Both are deterministic functions of the event sequence, so
 // identical runs resize identically; neither changes pop order.
+//
+// Batched same-bucket dispatch: popping from a bucket of depth k used to
+// re-scan the bucket's keys (and the occupancy bitmap) on every pop —
+// O(k) per event, O(k^2) to empty the bucket.  Instead, the first pop
+// from a multi-event bucket drains the WHOLE bucket into a reusable
+// scratch vector, sorts a compact (time, seq, index) key array once, and
+// subsequent pops hand out events in key order at O(1) each.  Pushes
+// that land inside the drained window while the batch is live (an event
+// at `now` scheduling another a few ns out) are spliced into the key
+// array at their sorted position, so pop order remains exactly the
+// global (time, seq) minimum — bit-identical to the unbatched calendar.
+// Shallow buckets (< kBatchMinDepth) bypass the batch and keep the
+// direct pop path: for a couple of events the min scan is cheaper than
+// moving them all into the scratch.
 #pragma once
 
 #include <bit>
@@ -73,6 +87,10 @@ class CalendarQueue {
   static constexpr std::size_t kMaxBucketDepth = 12;
   /// How much one narrowing divides the window width by (2^2 = 4x).
   static constexpr int kWidthShrinkStep = 2;
+  /// Buckets at least this deep drain into the sorted batch; shallower
+  /// ones pop directly (the min scan is a couple of compares, cheaper
+  /// than moving every event into the scratch and sorting).
+  static constexpr std::size_t kBatchMinDepth = 5;
 
   explicit CalendarQueue(int width_shift = kDefaultWidthShift,
                          std::size_t bucket_count_log2 = kDefaultBucketCountLog2);
@@ -178,6 +196,44 @@ class CalendarQueue {
     assert(false && "occupancy bitmap disagrees with ring_size_");
     return cursor_window_;
   }
+  /// Sorted-batch bookkeeping: a live batch is the drained contents of
+  /// the cursor bucket, handed out through `batch_keys_` in (time, seq)
+  /// order.  A batch is live iff batch_end_ns_ >= 0.
+  struct BatchKey {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;  ///< Index of the event in batch_.
+  };
+
+  /// batch_end_ns_ doubles as the liveness flag (-1 when no batch), so
+  /// the per-event checks in push()/pop are one register compare.
+  [[nodiscard]] bool batch_live() const { return batch_end_ns_ >= 0; }
+
+  /// Drains the bucket at ring index `idx` (window `w`) into the batch
+  /// scratch and sorts the key array — but only after confirming the
+  /// bucket's minimum is <= `limit`, so a false return leaves the
+  /// calendar untouched (the pop_min_at_or_before contract).  The
+  /// limit pre-check also guarantees the caller pops the batch head
+  /// immediately, which pins `now` at or past the batch window: no
+  /// later push can land below the cursor while the batch is live, so
+  /// rebuild_at() can never run under a live batch.
+  bool begin_batch(std::size_t idx, std::int64_t w, Time limit);
+
+  /// Files a push that lands inside the live batch's window at its
+  /// sorted position in the key array.  The new event carries the
+  /// largest seq yet issued, so it sorts after every equal-time key:
+  /// scan from the back comparing times only (almost always an append).
+  BUFQ_HOT void splice_into_batch(Event event) {
+    const auto slot = static_cast<std::uint32_t>(batch_.size());
+    const BatchKey key{event.time, event.seq, slot};
+    BUFQ_LINT_SUPPRESS("hot-path-container-growth", "batch scratch keeps its capacity across batches; steady-state appends reuse it");
+    batch_.push_back(std::move(event));
+    std::size_t at = batch_keys_.size();
+    while (at > batch_pos_ && key.time < batch_keys_[at - 1].time) --at;
+    BUFQ_LINT_SUPPRESS("hot-path-container-growth", "key splice reuses batch scratch capacity; insertion point is almost always the back");
+    batch_keys_.insert(batch_keys_.begin() + static_cast<std::ptrdiff_t>(at), key);
+  }
+
   /// Re-files every ring event with the cursor moved to `window`
   /// (rare: only pushes below the cursor window and width changes need
   /// it).
@@ -199,6 +255,16 @@ class CalendarQueue {
   std::int64_t cursor_window_{0};
   std::size_t ring_size_{0};
   std::size_t size_{0};
+  /// Batch scratch (drained cursor bucket).  Events stay put; the key
+  /// array is what stays sorted.  Both vectors keep their capacity
+  /// across batches so steady state allocates nothing.
+  std::vector<Event> batch_;
+  std::vector<BatchKey> batch_keys_;
+  std::size_t batch_pos_{0};
+  /// Last nanosecond covered by the live batch's window (absolute, so
+  /// a later narrow()'s shift change cannot skew it), or -1 when no
+  /// batch is live — the batch_live() flag itself.
+  std::int64_t batch_end_ns_{-1};
 };
 
 // The per-event operations are defined here, out of line but in the
@@ -208,6 +274,15 @@ class CalendarQueue {
 // paths (rebuild_at, narrow, grow) stay in calendar_queue.cpp.
 
 BUFQ_HOT inline void CalendarQueue::push(Event event) {
+  // batch_end_ns_ is -1 with no live batch and times are non-negative,
+  // so this one compare is also the liveness check.
+  if (event.time.ns() <= batch_end_ns_) {
+    // The event lands inside the drained window: every other pending
+    // event is strictly later, so it belongs in the live batch.
+    splice_into_batch(std::move(event));
+    ++size_;
+    return;
+  }
   const std::int64_t w = window_of(event.time);
   if (size_ == 0) {
     // Empty calendar: re-anchor the ring at the new event so the first
@@ -240,29 +315,50 @@ BUFQ_HOT inline void CalendarQueue::push(Event event) {
 }
 
 BUFQ_HOT inline bool CalendarQueue::pop_min_at_or_before(Time limit, Event& out) {
-  if (size_ == 0) return false;
-  if (!overflow_.empty()) {
-    drain_overflow();
-    if (ring_size_ == 0) {
-      // Ring exhausted: jump the cursor to the far tier's earliest
-      // window and pull its near future in.
-      cursor_window_ = window_of(overflow_.top().time);
+  if (!batch_live()) {
+    if (size_ == 0) return false;
+    if (!overflow_.empty()) {
       drain_overflow();
+      if (ring_size_ == 0) {
+        // Ring exhausted: jump the cursor to the far tier's earliest
+        // window and pull its near future in.
+        cursor_window_ = window_of(overflow_.top().time);
+        drain_overflow();
+      }
     }
+    // After the drain every far-tier window is >= the horizon, so the
+    // ring's minimum is the global one (equal times share a window).
+    const std::int64_t w = first_occupied_window();
+    const std::size_t idx = index_of(w);
+    Bucket& bucket = buckets_[idx];
+    if (bucket.size() < kBatchMinDepth) {
+      // Shallow bucket (the sparse-calendar common case): pop directly,
+      // no batch bookkeeping.
+      const std::size_t at = min_index(bucket);
+      if (bucket[at].time > limit) return false;
+      cursor_window_ = w;
+      out = std::move(bucket[at]);
+      if (at + 1 != bucket.size()) bucket[at] = std::move(bucket.back());
+      bucket.pop_back();
+      if (bucket.empty()) occupancy_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+      --ring_size_;
+      --size_;
+      return true;
+    }
+    if (!begin_batch(idx, w, limit)) return false;
   }
-  // After the drain every far-tier window is >= the horizon, so the
-  // ring's minimum is the global one (equal times share a window).
-  const std::int64_t w = first_occupied_window();
-  const std::size_t idx = index_of(w);
-  Bucket& bucket = buckets_[idx];
-  const std::size_t at = min_index(bucket);
-  if (bucket[at].time > limit) return false;
-  cursor_window_ = w;
-  out = std::move(bucket[at]);
-  if (at + 1 != bucket.size()) bucket[at] = std::move(bucket.back());
-  bucket.pop_back();
-  if (bucket.empty()) occupancy_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
-  --ring_size_;
+  // Live batch: its head is the global (time, seq) minimum — every
+  // non-batch pending event is beyond batch_end_ns_.
+  const BatchKey& key = batch_keys_[batch_pos_];
+  if (key.time > limit) return false;
+  out = std::move(batch_[key.slot]);
+  if (++batch_pos_ == batch_keys_.size()) {
+    // clear() keeps capacity: steady state reuses the scratch.
+    batch_.clear();
+    batch_keys_.clear();
+    batch_pos_ = 0;
+    batch_end_ns_ = -1;
+  }
   --size_;
   return true;
 }
