@@ -14,6 +14,11 @@
 //   --duration=SECS    measured interval (default 4)
 //   --loads=a,b        cross-traffic intensities (default 0.6,1.0)
 //   --jobs=N           worker threads (default: hardware concurrency)
+//   --shards=N         run every cell on the sharded parallel engine
+//                      (default 1 = serial).  The CSV on stdout is
+//                      bit-identical at any shard count — CI diffs the
+//                      two byte-for-byte — so the shard count is
+//                      deliberately NOT printed into the rows.
 //   --progress         progress/ETA line on stderr
 //   --metrics-out=PATH BENCH_fabric.json artifact: the grid's merged obs
 //                      registry plus derived.events_per_sec from a
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
   const Time duration = Time::from_seconds(flags.get_double("duration", 4.0));
   const std::vector<double> loads = parse_loads(flags.get_string("loads", "0.6,1.0"));
   const std::size_t jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  const int shards = static_cast<int>(flags.get_int("shards", 1));
   const bool progress = flags.get_bool("progress", false);
   const std::string metrics_out = flags.get_string("metrics-out", "");
   if (const auto unused = flags.unused(); !unused.empty()) {
@@ -126,6 +132,7 @@ int main(int argc, char** argv) {
         config.load = load;
         config.warmup = warmup;
         config.duration = duration;
+        config.shards = shards;
         const std::string label = std::string{to_string(shape.kind)} + "/" + scheme.name +
                                   "/load=" + format_load(load);
         cases.push_back(fabric_sweep_case(label,

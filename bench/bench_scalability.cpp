@@ -23,6 +23,7 @@
 #include <cstring>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "admission/dynamic_manager.h"
@@ -223,6 +224,33 @@ void BM_TaskPoolImbalancedWork(benchmark::State& state) {
 }
 
 BENCHMARK(BM_TaskPoolImbalancedWork)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// PhaseBarrier round-trip: the parallel fabric engine pays exactly one
+/// barrier per lookahead window, so its window rate is bounded by this.
+/// Each iteration drives kRounds generations across `parties` threads
+/// (thread spawn/join amortized over the rounds).
+void BM_PhaseBarrierRound(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kRounds = 1024;
+  for (auto _ : state) {
+    std::uint64_t completions = 0;
+    PhaseBarrier barrier{parties, [&completions] { ++completions; }};
+    std::vector<std::thread> threads;
+    threads.reserve(parties - 1);
+    for (std::size_t p = 1; p < parties; ++p) {
+      threads.emplace_back([&barrier] {
+        for (std::uint64_t r = 0; r < kRounds; ++r) barrier.arrive_and_wait();
+      });
+    }
+    for (std::uint64_t r = 0; r < kRounds; ++r) barrier.arrive_and_wait();
+    for (std::thread& t : threads) t.join();
+    benchmark::DoNotOptimize(completions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRounds));
+}
+
+BENCHMARK(BM_PhaseBarrierRound)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 /// Explicit steady_clock timing of the FIFO+thresholds and WFQ dequeue
 /// paths into registry histograms (works in default builds, unlike the

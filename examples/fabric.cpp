@@ -14,6 +14,10 @@
 //   --link_mbps / --buffer_kb / --prop_ms   uniform link parameters
 //   --warmup / --duration  seconds
 //   --seed       root seed (also the ECMP salt)
+//   --shards     partition the run across N workers (conservative
+//                lookahead, output bit-identical to serial; unshardable
+//                configs fall back to serial with a warning — see
+//                DESIGN.md §16; incompatible with the checkpoint flags)
 //   --report     print the per-hop budget report (default true)
 //   --checkpoint-out=PATH   snapshot the run mid-flight to PATH
 //   --checkpoint-in=PATH    resume the run from PATH (skips the warmup)
@@ -71,6 +75,7 @@ int main(int argc, char** argv) try {
   config.warmup = Time::from_seconds(flags.get_double("warmup", 1.0));
   config.duration = Time::from_seconds(flags.get_double("duration", 4.0));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.shards = static_cast<int>(flags.get_int("shards", 1));
   const bool report = flags.get_bool("report", true);
   const auto checkpoint_out = flags.get("checkpoint-out");
   const auto checkpoint_in = flags.get("checkpoint-in");

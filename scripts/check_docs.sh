@@ -111,7 +111,12 @@ fi
 if [ -n "$BUILD_DIR" ] && [ -n "$claims" ]; then
   actual="$(ctest --test-dir "$BUILD_DIR" -N 2>/dev/null \
     | grep -oE 'Total Tests: [0-9]+' | grep -oE '[0-9]+' || true)"
-  if [ -n "$actual" ] && [ "$claims" != "$actual" ]; then
+  if [ -z "$actual" ]; then
+    # A build dir was explicitly given, so an unusable one is a failure,
+    # not a skip — otherwise CI would silently stop checking the count.
+    echo "FAIL build dir '$BUILD_DIR' unusable: ctest -N reported no test total" >&2
+    fail=1
+  elif [ "$claims" != "$actual" ]; then
     echo "FAIL stale test count: docs say $claims, ctest -N says $actual" >&2
     fail=1
   fi

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Wall-clock and determinism guard for the sharded parallel fabric
+# engine, run by the parallel-speedup CI job on a multi-core runner:
+#
+#   1. a reduced bench_fabric grid serially and at --shards N must print
+#      byte-identical CSV (the bit-identical contract, end to end
+#      through the sweep pipeline), and
+#   2. bench_parallel_engine must reach MIN_SPEEDUP at its best shard
+#      count (its own internal per-flow/egress-audit identity check runs
+#      on every leg; any divergence fails the bench itself).
+#
+#   scripts/check_parallel_speedup.sh [build-dir]
+#
+# Environment:
+#   SHARDS       shard count for the bench_fabric leg (default: 4)
+#   MIN_SPEEDUP  required serial/parallel wall ratio (default: 2.0)
+#   OUT_DIR      where CSVs and logs land (default: parallel-speedup)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SHARDS="${SHARDS:-4}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+OUT_DIR="${OUT_DIR:-parallel-speedup}"
+
+for bin in bench_fabric bench_parallel_engine; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
+    exit 2
+  fi
+done
+mkdir -p "$OUT_DIR"
+
+# Reduced grid: one seed, short interval — enough cells to cross every
+# topology's cut links, small enough to keep the job quick.
+ARGS=(--seeds=1 --warmup=0.25 --duration=0.75 --loads=1.0 --jobs=1)
+
+echo "== bench_fabric serial vs --shards=$SHARDS (CSV must be byte-identical) =="
+"$BUILD_DIR/bench/bench_fabric" "${ARGS[@]}" \
+  >"$OUT_DIR/serial.csv" 2>"$OUT_DIR/serial.log"
+"$BUILD_DIR/bench/bench_fabric" "${ARGS[@]}" --shards="$SHARDS" \
+  >"$OUT_DIR/sharded.csv" 2>"$OUT_DIR/sharded.log"
+
+if ! cmp -s "$OUT_DIR/serial.csv" "$OUT_DIR/sharded.csv"; then
+  echo "FAIL: CSV differs between serial and --shards=$SHARDS (bit-identical contract broken)" >&2
+  diff "$OUT_DIR/serial.csv" "$OUT_DIR/sharded.csv" | head -20 >&2 || true
+  exit 1
+fi
+echo "OK: grid CSV byte-identical at --shards=$SHARDS"
+
+echo "== bench_parallel_engine wall gate (>= ${MIN_SPEEDUP}x) =="
+"$BUILD_DIR/bench/bench_parallel_engine" --min-speedup="$MIN_SPEEDUP" \
+  --metrics-out="$OUT_DIR/BENCH_parallel_engine.json" \
+  | tee "$OUT_DIR/bench_parallel_engine.txt"
+
+echo "OK: parallel engine deterministic and fast enough"

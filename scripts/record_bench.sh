@@ -17,7 +17,7 @@ OUT_DIR="${OUT_DIR:-bench-metrics}"
 LABEL="${LABEL:-local}"
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
-for bin in bench_scalability bench_admission_churn bench_fabric; do
+for bin in bench_scalability bench_admission_churn bench_fabric bench_parallel_engine; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     exit 2
@@ -45,6 +45,11 @@ echo "== bench_fabric =="
   --metrics-out="$OUT_DIR/BENCH_fabric_$LABEL.json" \
   > "$OUT_DIR/bench_fabric_$LABEL.txt"
 
+echo "== bench_parallel_engine =="
+"$BUILD_DIR/bench/bench_parallel_engine" \
+  --metrics-out="$OUT_DIR/BENCH_parallel_engine_$LABEL.json" \
+  > "$OUT_DIR/bench_parallel_engine_$LABEL.txt"
+
 echo "== derive event-kernel artifact =="
 python3 "$SCRIPT_DIR/derive_event_kernel.py" \
   "$OUT_DIR/BENCH_scalability_$LABEL.json" \
@@ -57,7 +62,8 @@ echo "== perf floor =="
 python3 "$SCRIPT_DIR/check_perf_floor.py" \
   "$OUT_DIR/BENCH_event_kernel_$LABEL.json" \
   "$OUT_DIR/BENCH_fabric_$LABEL.json" \
-  "$OUT_DIR/BENCH_million_flow_$LABEL.json"
+  "$OUT_DIR/BENCH_million_flow_$LABEL.json" \
+  "$OUT_DIR/BENCH_parallel_engine_$LABEL.json"
 
 echo "artifacts in $OUT_DIR/:"
 ls -l "$OUT_DIR"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
 #include "check/invariants.h"
 #include "core/dynamic_threshold.h"
@@ -47,7 +48,7 @@ std::unique_ptr<QueueDiscipline> make_discipline(const FabricScheme& scheme,
 
 Fabric::Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
                const ProvisionPlan& plan, const std::vector<FlowBinding>& bindings,
-               const FabricScheme& scheme)
+               const FabricScheme& scheme, const FabricShardScope* scope)
     : sim_{sim},
       topo_{topo},
       scheme_{scheme},
@@ -76,32 +77,53 @@ Fabric::Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
     weights[static_cast<std::size_t>(b.flow)] = std::max(b.spec.rho.bps(), 1.0);
   }
 
+  const auto in_scope = [scope](NodeId n) {
+    return scope == nullptr ||
+           (*scope->node_shard)[static_cast<std::size_t>(n)] == scope->shard;
+  };
+
   // Phase 1: nodes and egress sinks, so every link's downstream exists
-  // before any port is constructed (the graph may have cycles).
-  nodes_.reserve(topo.node_count());
+  // before any port is constructed (the graph may have cycles).  Out-of-
+  // scope nodes stay null: no shard-local pointer can reach state another
+  // shard's worker mutates.
+  nodes_.resize(topo.node_count());
   sinks_.resize(topo.node_count());
   taps_.resize(topo.node_count());
   for (std::size_t n = 0; n < topo.node_count(); ++n) {
-    nodes_.push_back(std::make_unique<Node>(topo.node(static_cast<NodeId>(n)).name));
+    if (!in_scope(static_cast<NodeId>(n))) continue;
+    nodes_[n] = std::make_unique<Node>(topo.node(static_cast<NodeId>(n)).name);
     if (topo.node(static_cast<NodeId>(n)).host) {
       sinks_[n] = std::make_unique<EgressSink>(*this, static_cast<NodeId>(n));
     }
   }
 
   // Phase 2: one OutputPort per directed link, on its tail node, in
-  // out-link order (so port index == position in out_links).
+  // out-link order (so port index == position in out_links).  Cut links
+  // keep their port (queueing and transmission are tail-side state) but
+  // swap the wire for the boundary seam: zero propagation into the
+  // scope's boundary sink, so transmission end hands the packet straight
+  // to the channel with no calendar event — the receiving shard's
+  // dispatch_external() supplies the arrival event instead.
   link_port_.assign(topo.link_count(), {-1, 0});
   for (std::size_t n = 0; n < topo.node_count(); ++n) {
     const auto id = static_cast<NodeId>(n);
+    if (!in_scope(id)) continue;
     for (const LinkId l : topo.out_links(id)) {
       const TopoLink& link = topo.link(l);
-      PacketSink* downstream = topo.node(link.to).host
-                                   ? static_cast<PacketSink*>(sinks_[static_cast<std::size_t>(link.to)].get())
-                                   : static_cast<PacketSink*>(nodes_[static_cast<std::size_t>(link.to)].get());
+      PacketSink* downstream = nullptr;
+      Time propagation = link.params.propagation;
+      if (in_scope(link.to)) {
+        downstream = topo.node(link.to).host
+                         ? static_cast<PacketSink*>(sinks_[static_cast<std::size_t>(link.to)].get())
+                         : static_cast<PacketSink*>(nodes_[static_cast<std::size_t>(link.to)].get());
+      } else {
+        downstream = scope->boundary(l);
+        propagation = Time::zero();
+      }
       auto manager =
           make_manager(scheme_, link.params, plan.thresholds_for(l, flow_count));
       auto discipline = make_discipline(scheme_, *manager, link.params, weights);
-      auto port = std::make_unique<OutputPort>(sim_, link.params.rate, link.params.propagation,
+      auto port = std::make_unique<OutputPort>(sim_, link.params.rate, propagation,
                                                std::move(manager), std::move(discipline),
                                                downstream);
       // Every hop's drop lands in the shared collector, so per-flow loss
@@ -112,10 +134,12 @@ Fabric::Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
     }
   }
 
-  // Phase 3: install the pinned paths as per-node routes.
+  // Phase 3: install the pinned paths as per-node routes (only the hops
+  // whose tail node exists in this scope).
   for (const FlowPlan& fp : plan.flows) {
     for (const LinkId l : fp.path) {
       const auto& [node, port] = link_port_[static_cast<std::size_t>(l)];
+      if (node < 0) continue;
       nodes_[static_cast<std::size_t>(node)]->route(fp.flow, port);
     }
   }
@@ -144,6 +168,17 @@ OutputPort& Fabric::port_for_link(LinkId link) {
   return nodes_[static_cast<std::size_t>(node)]->port(port);
 }
 
+PacketSink& Fabric::arrival_sink(LinkId link) {
+  assert(link >= 0 && static_cast<std::size_t>(link) < topo_.link_count());
+  const NodeId head = topo_.link(link).to;
+  if (topo_.node(head).host) {
+    assert(sinks_[static_cast<std::size_t>(head)] != nullptr);
+    return *sinks_[static_cast<std::size_t>(head)];
+  }
+  assert(nodes_[static_cast<std::size_t>(head)] != nullptr);
+  return *nodes_[static_cast<std::size_t>(head)];
+}
+
 double Fabric::delay_bound_s(FlowId flow) const {
   assert(flow >= 0 && static_cast<std::size_t>(flow) < flow_bound_.size());
   return flow_bound_[static_cast<std::size_t>(flow)].to_seconds();
@@ -153,6 +188,7 @@ void Fabric::save_state(CheckpointWriter& w) const {
   stats_.save_state(w);
   delays_.save_state(w);
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n] == nullptr) continue;  // out-of-scope (sharded builds never checkpoint)
     nodes_[n]->save_state(w, n);
   }
 }
@@ -161,6 +197,7 @@ void Fabric::restore_state(CheckpointReader& r) {
   stats_.restore_state(r);
   delays_.restore_state(r);
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n] == nullptr) continue;
     nodes_[n]->restore_state(r, n);
   }
 }
@@ -174,6 +211,21 @@ BUFQ_HOT void Fabric::EgressSink::accept(const Packet& packet) {
   }
   const Time now = f.sim_.now();
   f.stats_.on_delivered(packet, now);
+  // FNV-1a over the delivery tuple; counters sum mod 2^64, so the audit
+  // digest is order-independent and shard merges reproduce serial.
+  std::uint64_t digest = 1469598103934665603ULL;
+  const auto mix = [&digest](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest ^= (v >> (byte * 8)) & 0xffULL;
+      digest *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(packet.flow));
+  mix(static_cast<std::uint64_t>(packet.size_bytes));
+  mix(static_cast<std::uint64_t>(packet.created.ns()));
+  mix(static_cast<std::uint64_t>(now.ns()));
+  mix(static_cast<std::uint64_t>(self_));
+  f.egress_audit_metric_.add(digest);
   const Time delay = now - packet.created;
   f.e2e_delay_metric_.record(delay.ns() / 1'000);
   if (now >= f.measure_from_) f.delays_.record(packet, now);

@@ -54,16 +54,37 @@ struct FabricScheme {
   double dt_alpha{1.0};
 };
 
+/// Restriction of a Fabric build to one shard of a partition (the
+/// parallel engine, fabric/parallel.h).  Nodes assigned to other shards
+/// are not instantiated; ports serving cut links (head in another shard)
+/// are built with zero propagation feeding `boundary(link)` — the
+/// channel seam — instead of a simulated wire.  Zero propagation makes
+/// OutputPort hand the packet straight to the sink at transmission end
+/// (no calendar event, no wire gauge), so the receiving shard's
+/// dispatch_external() is the run's one and only event for the crossing,
+/// exactly as in serial.
+struct FabricShardScope {
+  /// NodeId -> shard (fabric::ShardPlan::node_shard); must outlive the
+  /// fabric.
+  const std::vector<int>* node_shard{nullptr};
+  int shard{0};
+  /// Sink absorbing packets that leave the shard over `link`; must
+  /// outlive the fabric.
+  std::function<PacketSink*(LinkId)> boundary;
+};
+
 class Fabric {
  public:
   /// Builds nodes, ports, sinks and routes.  `plan` must come from
   /// plan_fabric over the same topology/routes/bindings (its paths ARE the
   /// installed routes).  Construct any ScopedMetrics/ScopedChecker before
   /// the fabric so metric handles resolve.  All references must outlive
-  /// the fabric.
+  /// the fabric.  With a `scope`, only that shard's slice is built (see
+  /// FabricShardScope); node()/port_for_link()/ingress() may then only be
+  /// called for in-shard ids.
   Fabric(Simulator& sim, const Topology& topo, const RouteTable& routes,
          const ProvisionPlan& plan, const std::vector<FlowBinding>& bindings,
-         const FabricScheme& scheme);
+         const FabricScheme& scheme, const FabricShardScope* scope = nullptr);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -84,6 +105,12 @@ class Fabric {
   [[nodiscard]] Node& node(NodeId id);
   /// The port serving directed link `link` and the node index it lives on.
   [[nodiscard]] OutputPort& port_for_link(LinkId link);
+  /// Where a packet arriving over `link` is delivered: the head host's
+  /// egress sink, or the head node.  This is the receiving end of the
+  /// boundary seam — the parallel engine dispatches cross-shard packets
+  /// here, which is byte-for-byte the sink a serial wire would feed.
+  /// The head node must be in scope.
+  [[nodiscard]] PacketSink& arrival_sink(LinkId link);
   /// Planner delay bound for `flow` (seconds); 0 for unrouted flows.
   [[nodiscard]] double delay_bound_s(FlowId flow) const;
 
@@ -124,6 +151,12 @@ class Fabric {
   bool enforce_delay_bound_{false};
   obs::HistogramHandle e2e_delay_metric_{obs::HistogramHandle::lookup("fabric.e2e_delay_us")};
   obs::CounterHandle misrouted_metric_{obs::CounterHandle::lookup("fabric.misrouted")};
+  /// Order-independent egress audit trail: an FNV-1a digest of every
+  /// delivered packet's (flow, size, created, delivered, egress node),
+  /// summed mod 2^64.  Commutative, so shard merges reproduce the serial
+  /// value exactly; any divergence in what was delivered or when shows up
+  /// as a different counter.
+  obs::CounterHandle egress_audit_metric_{obs::CounterHandle::lookup("fabric.egress_audit")};
 };
 
 }  // namespace bufq::fabric

@@ -4,10 +4,13 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
 
 #include "check/invariants.h"
+#include "fabric/parallel_engine.h"
+#include "fabric/shard_plan.h"
 #include "sim/checkpoint.h"
 #include "sim/inline_action.h"
 #include "traffic/sources.h"
@@ -88,7 +91,8 @@ FabricScenario build_fabric_scenario(const FabricConfig& config) {
     }
     case FabricTopologyKind::kLeafSpine: {
       assert(config.size >= 2);
-      LeafSpineFabric f = make_leaf_spine(config.size, config.size, 2, lp, lp);
+      assert(config.hosts_per_leaf >= 1);
+      LeafSpineFabric f = make_leaf_spine(config.size, config.size, config.hosts_per_leaf, lp, lp);
       sc.bindings.push_back(FlowBinding{.flow = 0,
                                         .src = f.hosts.front(),
                                         .dst = f.hosts.back(),
@@ -192,6 +196,12 @@ class FabricEngine {
     static_assert(InlineAction::stores_inline<decltype(snap_warmup)>,
                   "warmup snapshot event must not allocate");
     warmup_seq_ = sim_.at(config.warmup, snap_warmup);
+  }
+
+  /// Marks this run as a parallel request that fell back to serial, so
+  /// sweeps and benches can count (and alert on) silent de-scaling.
+  void note_serial_fallback() {
+    run_metrics_.registry().counter("parallel.serial_fallback").add();
   }
 
   void run_to_trigger(const CheckpointTrigger& trigger) {
@@ -362,16 +372,44 @@ std::uint64_t fabric_fingerprint(const FabricConfig& config) {
   h.mix_u64(config.seed);
   h.mix_i64(config.packet_bytes);
   h.mix_bool(config.record_delays);
+  // hosts_per_leaf shapes the topology, so it is part of the scenario
+  // identity; shards is an execution strategy with a bit-identical-output
+  // contract, so it deliberately is not.
+  h.mix_i64(config.hosts_per_leaf);
   return h.digest();
 }
 
 ExperimentResult run_fabric_experiment(const FabricConfig& config) {
+  if (config.shards > 1) {
+    const FabricScenario sc = build_fabric_scenario(config);
+    const ShardPlan plan = shard_plan(sc.topo, config.shards);
+    const ParallelViability viability = parallel_viability(config, plan);
+    if (viability.viable) {
+      return run_parallel_fabric_experiment(config, sc, plan);
+    }
+    // Loud fallback, never a silent wrong answer: conservative windows
+    // need positive lookahead on every cut link.
+    std::fprintf(stderr,
+                 "bufq: --shards=%d requested for %s/size=%d but the run falls back to the "
+                 "serial engine: %s\n",
+                 config.shards, to_string(config.topology), config.size,
+                 viability.reason.c_str());
+    FabricEngine engine{config};
+    engine.note_serial_fallback();
+    return engine.finish();
+  }
   FabricEngine engine{config};
   return engine.finish();
 }
 
 CheckpointedRun run_fabric_experiment_with_checkpoint(const FabricConfig& config,
                                                       const CheckpointTrigger& trigger) {
+  if (config.shards > 1) {
+    throw CheckpointShardingError(
+        "checkpointing a sharded run (--shards=" + std::to_string(config.shards) +
+        ") is not supported: per-shard calendars and boundary-channel state are not "
+        "serialized; run serial (shards=1) to checkpoint");
+  }
   FabricEngine engine{config};
   engine.run_to_trigger(trigger);
   CheckpointedRun run;
@@ -384,6 +422,11 @@ CheckpointedRun run_fabric_experiment_with_checkpoint(const FabricConfig& config
 
 ExperimentResult resume_fabric_experiment(const FabricConfig& config,
                                           std::span<const std::byte> checkpoint) {
+  if (config.shards > 1) {
+    throw CheckpointShardingError(
+        "resuming into a sharded run (--shards=" + std::to_string(config.shards) +
+        ") is not supported; resume serial (shards=1)");
+  }
   FabricEngine engine{config};
   engine.restore(checkpoint);
   return engine.finish();

@@ -32,7 +32,7 @@ namespace bufq::fabric {
 
 enum class FabricTopologyKind {
   kParkingLot,  ///< size = managed hops on the premium path
-  kLeafSpine,   ///< size = leaves (= spines); 2 hosts per leaf
+  kLeafSpine,   ///< size = leaves (= spines); hosts_per_leaf hosts each
   kFatTree,     ///< size = k (even)
   kWanRing,     ///< size = routers; 1 host each
 };
@@ -61,6 +61,18 @@ struct FabricConfig {
   std::uint64_t seed{1};
   std::int64_t packet_bytes{500};
   bool record_delays{true};
+  /// Hosts per leaf switch (kLeafSpine only).  Scales traffic density
+  /// without adding switches — the parallel bench uses it to give each
+  /// shard enough work per lookahead window to amortize the barrier.
+  int hosts_per_leaf{2};
+  /// Parallel execution: partition the fabric into this many shards
+  /// (clamped to the switch count) and run them on task_pool workers with
+  /// conservative lookahead windows.  1 = serial.  The output is
+  /// bit-identical to serial, so this is an execution strategy, not a
+  /// scenario parameter — it is deliberately NOT part of
+  /// fabric_fingerprint().  Partitions with zero-propagation cut links
+  /// fall back to serial with a loud warning.
+  int shards{1};
 };
 
 /// The declarative half of a scenario: topology, routes, flow bindings
@@ -90,6 +102,8 @@ struct FabricScenario {
 
 /// run_fabric_experiment with a mid-run snapshot, mirroring
 /// run_experiment_with_checkpoint (same CheckpointTrigger semantics).
+/// Sharded runs cannot checkpoint: throws CheckpointShardingError when
+/// config.shards > 1 (run serial to checkpoint).
 [[nodiscard]] CheckpointedRun run_fabric_experiment_with_checkpoint(
     const FabricConfig& config, const CheckpointTrigger& trigger = {});
 

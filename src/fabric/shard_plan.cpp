@@ -1,0 +1,79 @@
+#include "fabric/shard_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace bufq::fabric {
+
+ShardPlan shard_plan(const Topology& topo, int shards) {
+  ShardPlan plan;
+  const auto node_count = static_cast<NodeId>(topo.node_count());
+  const int switch_count = static_cast<int>(topo.switch_count());
+  plan.shards = std::clamp(shards, 1, std::max(switch_count, 1));
+  plan.node_shard.assign(static_cast<std::size_t>(node_count), 0);
+  if (plan.shards <= 1) {
+    plan.shards = 1;
+    return plan;
+  }
+
+  // BFS order over switches; unreached switches seed new roots in id
+  // order so disconnected graphs still get a total order.
+  std::vector<bool> visited(static_cast<std::size_t>(node_count), false);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(switch_count));
+  std::deque<NodeId> frontier;
+  for (NodeId root = 0; root < node_count; ++root) {
+    if (topo.node(root).host || visited[static_cast<std::size_t>(root)]) continue;
+    visited[static_cast<std::size_t>(root)] = true;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const NodeId n = frontier.front();
+      frontier.pop_front();
+      order.push_back(n);
+      for (const LinkId l : topo.out_links(n)) {
+        const NodeId head = topo.link(l).to;
+        if (topo.node(head).host || visited[static_cast<std::size_t>(head)]) continue;
+        visited[static_cast<std::size_t>(head)] = true;
+        frontier.push_back(head);
+      }
+    }
+  }
+  assert(static_cast<int>(order.size()) == switch_count);
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    plan.node_shard[static_cast<std::size_t>(order[i])] =
+        static_cast<int>(i) % plan.shards;
+  }
+
+  // Hosts pin to their edge switch: the head of their first out-link.
+  // Every generator gives each host exactly one uplink, to a switch; a
+  // degenerate host with no uplink stays in shard 0.
+  for (NodeId n = 0; n < node_count; ++n) {
+    if (!topo.node(n).host) continue;
+    const auto& out = topo.out_links(n);
+    if (out.empty()) continue;
+    const NodeId edge = topo.link(out.front()).to;
+    plan.node_shard[static_cast<std::size_t>(n)] =
+        plan.node_shard[static_cast<std::size_t>(edge)];
+  }
+
+  bool have_cut = false;
+  for (LinkId l = 0; l < static_cast<LinkId>(topo.link_count()); ++l) {
+    const TopoLink& link = topo.link(l);
+    if (plan.node_shard[static_cast<std::size_t>(link.from)] ==
+        plan.node_shard[static_cast<std::size_t>(link.to)]) {
+      continue;
+    }
+    plan.cut_links.push_back(l);
+    if (link.params.propagation <= Time::zero()) plan.zero_lookahead = true;
+    if (!have_cut || link.params.propagation < plan.lookahead) {
+      plan.lookahead = link.params.propagation;
+    }
+    have_cut = true;
+  }
+  if (plan.zero_lookahead || !have_cut) plan.lookahead = Time::zero();
+  return plan;
+}
+
+}  // namespace bufq::fabric

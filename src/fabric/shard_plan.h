@@ -1,0 +1,51 @@
+// Deterministic topology partitioner for the parallel fabric engine.
+//
+// shard_plan() assigns every node of a Topology to a shard as a pure
+// function of (topology, requested shard count) — no METIS, no
+// randomness, no iteration over unordered containers — so every process
+// that sees the same scenario computes the same partition:
+//
+//   1. Switches are visited in BFS order from the lowest-id switch,
+//      neighbours in out-link id order; switches unreachable from the
+//      first component seed new BFS roots in id order.
+//   2. Shard = BFS position modulo the effective shard count.  The
+//      round-robin deliberately splits tightly-coupled neighbour groups
+//      across shards: in a leaf-spine it lands one leaf and one spine
+//      per shard, balancing both nodes and cut traffic (a contiguous
+//      BFS-block split would put all leaves in one shard).
+//   3. Hosts pin to the shard of their edge switch (the head of their
+//      first out-link), so the host<->switch links — which carry every
+//      packet twice — are never cut.
+//
+// The cut links (tail and head in different shards) determine the
+// conservative lookahead: the minimum propagation delay over the cut.
+// A zero-propagation cut link makes the partition unusable for
+// conservative windows; callers must fall back to serial.
+#pragma once
+
+#include <vector>
+
+#include "fabric/topology.h"
+#include "util/units.h"
+
+namespace bufq::fabric {
+
+struct ShardPlan {
+  /// Effective shard count: requested, clamped to [1, switch_count].
+  int shards{1};
+  /// Shard of each node, indexed by NodeId.
+  std::vector<int> node_shard;
+  /// Links whose tail and head land in different shards, ascending.
+  std::vector<LinkId> cut_links;
+  /// Minimum propagation delay over cut_links (zero when there are no
+  /// cut links or any cut link has zero propagation).
+  Time lookahead{Time::zero()};
+  /// True when a cut link has zero propagation — conservative windows
+  /// are impossible and the run must fall back to serial.
+  bool zero_lookahead{false};
+};
+
+/// Pure function of (topo, shards); see the file comment for the rules.
+[[nodiscard]] ShardPlan shard_plan(const Topology& topo, int shards);
+
+}  // namespace bufq::fabric

@@ -84,6 +84,16 @@ class CheckpointScenarioError : public CheckpointError {
   explicit CheckpointScenarioError(const std::string& what) : CheckpointError(what) {}
 };
 
+/// Checkpointing was requested for a sharded (parallel) run.  Per-shard
+/// calendars and in-flight boundary-channel state are not serialized;
+/// the engine rejects the combination loudly instead of writing a
+/// checkpoint that could not replay deterministically.  Run serial
+/// (shards = 1) to checkpoint.
+class CheckpointShardingError : public CheckpointError {
+ public:
+  explicit CheckpointShardingError(const std::string& what) : CheckpointError(what) {}
+};
+
 /// Format version stamped into every header; bump on any layout change.
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 

@@ -1,0 +1,105 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+#include <utility>
+
+namespace bufq {
+
+ParallelCoordinator::ParallelCoordinator(Config config, SyncHook on_sync)
+    : config_{std::move(config)},
+      on_sync_{std::move(on_sync)},
+      barrier_{static_cast<std::size_t>(config_.shards), [this] { advance(); }} {
+  assert(config_.shards >= 1);
+  assert(config_.lookahead > Time::zero());
+  assert(config_.horizon > Time::zero());
+  for (std::size_t i = 0; i < config_.sync_points.size(); ++i) {
+    assert(config_.sync_points[i] > Time::zero());
+    assert(config_.sync_points[i] < config_.horizon);
+    assert(i == 0 || config_.sync_points[i - 1] < config_.sync_points[i]);
+  }
+  const auto n = static_cast<std::size_t>(config_.shards);
+  channels_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    channels_.emplace_back(static_cast<std::int32_t>(s), n);
+  }
+  pending_.resize(n);
+  next_.resize(n);
+}
+
+bool ParallelCoordinator::next_window(std::int32_t shard, Window& out) {
+  barrier_.arrive_and_wait();
+  // done_ and next_ were written by the completion callback under the
+  // barrier mutex; the wakeup carries the happens-before edge.
+  if (done_) return false;
+  out = std::move(next_[static_cast<std::size_t>(shard)]);
+  return true;
+}
+
+void ParallelCoordinator::advance() {
+  // Drain every channel's outboxes.  Emission order within a channel is
+  // already (time-monotonic per sender, seq-ordered overall); the sort at
+  // delivery planning below imposes the global (time, src_shard, seq)
+  // order regardless.
+  const auto n = static_cast<std::size_t>(config_.shards);
+  for (auto& channel : channels_) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      auto& box = channel.outbox(dst);
+      boundary_events_ += box.size();
+      std::move(box.begin(), box.end(), std::back_inserter(pending_[dst]));
+      box.clear();
+    }
+  }
+
+  // Completed windows now cover exactly [0, cur_); fire the sync hook
+  // when that prefix ends at a sync point (e.g. the warmup snapshot).
+  if (windows_ > 0 && next_sync_ < config_.sync_points.size() &&
+      cur_ == config_.sync_points[next_sync_]) {
+    if (on_sync_) on_sync_(cur_);
+    ++next_sync_;
+  }
+
+  if (drain_issued_) {
+    done_ = true;
+    return;
+  }
+
+  const bool drain = cur_ == config_.horizon;
+  Time end = config_.horizon;
+  if (!drain) {
+    end = cur_ + config_.lookahead;
+    if (next_sync_ < config_.sync_points.size() && config_.sync_points[next_sync_] < end) {
+      end = config_.sync_points[next_sync_];
+    }
+    if (end > config_.horizon) end = config_.horizon;
+  }
+
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    Window& w = next_[dst];
+    w.end = end;
+    w.final = drain;
+    w.incoming.clear();
+    auto& queue = pending_[dst];
+    // Stable partition: due events out, not-yet-due events stay (in the
+    // drain round anything past the horizon is unreachable and dropped).
+    auto keep = queue.begin();
+    for (auto& ev : queue) {
+      const bool due = drain ? ev.time <= end : ev.time < end;
+      if (due) {
+        w.incoming.push_back(std::move(ev));
+      } else {
+        *keep++ = std::move(ev);
+      }
+    }
+    queue.erase(keep, queue.end());
+    if (drain) queue.clear();
+    std::sort(w.incoming.begin(), w.incoming.end(), boundary_before);
+  }
+
+  cur_ = end;
+  drain_issued_ = drain;
+  ++windows_;
+}
+
+}  // namespace bufq

@@ -120,6 +120,28 @@ class Simulator {
     return processed_;
   }
 
+  /// Dispatches an event that was never on this simulator's calendar — a
+  /// boundary event handed over from another shard by the parallel engine
+  /// (src/sim/parallel.h).  Semantically identical to dispatch(): the
+  /// clock advances to `t`, the event is counted in events_processed()
+  /// and `sim.events`, then `fn` runs.  That exact mirroring is what
+  /// keeps a sharded run's merged event count (and checker tally, via the
+  /// same kEventClock check) bit-identical to the serial run, where the
+  /// crossing was an ordinary wire-arrival event.  Requires t >= now().
+  template <typename Fn>
+  BUFQ_HOT void dispatch_external(Time t, Fn&& fn) {
+    BUFQ_TRACE("sim.step");
+    BUFQ_CHECK(t >= now_, check::Invariant::kEventClock, -1, now_, t.to_seconds(),
+               now_.to_seconds(), "boundary event behind the shard clock");
+    now_ = t;
+    ++processed_;
+    events_metric_.add();
+    if ((processed_ & 63u) == 0) {
+      depth_metric_.record(static_cast<std::int64_t>(calendar_.size()));
+    }
+    std::forward<Fn>(fn)();
+  }
+
   /// Makes `run()`/`run_until()` return after the current event.  Pending
   /// events stay scheduled; a later run() resumes.
   void stop() { stopped_ = true; }

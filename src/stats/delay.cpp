@@ -33,6 +33,20 @@ void DelayRecorder::record(const Packet& packet, Time departure) {
   ++f.histogram[static_cast<std::size_t>(bin_for(delay))];
 }
 
+void DelayRecorder::merge(const DelayRecorder& other) {
+  assert(flows_.size() == other.flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    auto& dst = flows_[i];
+    const auto& src = other.flows_[i];
+    dst.count += src.count;
+    dst.sum_ns += src.sum_ns;
+    dst.max = std::max(dst.max, src.max);
+    for (std::size_t bin = 0; bin < src.histogram.size(); ++bin) {
+      dst.histogram[bin] += src.histogram[bin];
+    }
+  }
+}
+
 std::uint64_t DelayRecorder::count(FlowId flow) const {
   assert(flow >= 0 && static_cast<std::size_t>(flow) < flows_.size());
   return flows_[static_cast<std::size_t>(flow)].count;

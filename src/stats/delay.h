@@ -40,6 +40,13 @@ class DelayRecorder {
   [[nodiscard]] Time mean_delay_all() const;
   [[nodiscard]] Time max_delay_all() const;
 
+  /// Adds `other`'s tallies into this recorder (counts and sums add, max
+  /// takes the max, histograms add bin-wise).  Exact — not an
+  /// approximation — so the parallel engine's per-shard recorders merge
+  /// to precisely the serial recorder's state when each flow's packets
+  /// were recorded in exactly one shard.  Flow counts must match.
+  void merge(const DelayRecorder& other);
+
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
 
   /// Checkpointable: per-flow count/sum/max and the full histogram.

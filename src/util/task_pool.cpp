@@ -14,6 +14,34 @@ thread_local std::size_t tl_worker = 0;
 
 }  // namespace
 
+PhaseBarrier::PhaseBarrier(std::size_t parties, std::function<void()> on_completion)
+    : on_completion_{std::move(on_completion)}, parties_{parties} {
+  assert(parties_ > 0);
+}
+
+void PhaseBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock{mu_};
+  if (++waiting_ == parties_) {
+    // Last arriver: everyone else is blocked in the wait below, so the
+    // completion callback sees (and may mutate) inter-phase state without
+    // further synchronization.  The mutex also carries the happens-before
+    // edge from each party's pre-barrier writes into the callback, and
+    // from the callback's writes into each party's post-barrier reads.
+    if (on_completion_) on_completion_();
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t arrived_at = generation_;
+  cv_.wait(lock, [&] { return generation_ != arrived_at; });
+}
+
+std::uint64_t PhaseBarrier::generation() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return generation_;
+}
+
 std::size_t TaskPool::default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;

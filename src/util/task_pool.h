@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -22,6 +23,45 @@
 #include <vector>
 
 namespace bufq {
+
+/// Reusable synchronization barrier for long-lived phased workloads (the
+/// parallel fabric engine's lookahead windows).  `parties` threads call
+/// arrive_and_wait() once per phase; the last arriver runs the completion
+/// callback *while holding the barrier lock* (every other party is asleep
+/// in the wait, so the callback has exclusive access to any state the
+/// parties touch only between barriers), then releases the generation.
+///
+/// This exists because TaskPool's steal path is the wrong shape for shard
+/// workers: a shard must stay pinned to one thread for its whole run (its
+/// Simulator, metrics scope, and checker scope are thread-confined), so
+/// the engine submits one long-lived task per shard and synchronizes the
+/// lookahead windows here instead of re-submitting a task per window.
+/// Purely condvar-based — no spinning — so it degrades gracefully when
+/// the pool is oversubscribed (more shards than cores).
+class PhaseBarrier {
+ public:
+  /// `on_completion` may be empty; when set it runs once per phase, on the
+  /// last arriving thread, before the others wake.
+  explicit PhaseBarrier(std::size_t parties, std::function<void()> on_completion = {});
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  /// Blocks until all `parties` threads of the current phase have arrived.
+  void arrive_and_wait();
+
+  /// Phases completed so far.  Racy if read while parties are mid-phase;
+  /// meant for tests and post-run accounting.
+  [[nodiscard]] std::uint64_t generation() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> on_completion_;
+  std::size_t parties_;
+  std::size_t waiting_{0};
+  std::uint64_t generation_{0};
+};
 
 /// Work-stealing pool of `threads` workers; see the file comment for the
 /// scheduling discipline and the no-throw task contract.

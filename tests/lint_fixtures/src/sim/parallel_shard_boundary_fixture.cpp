@@ -1,0 +1,18 @@
+// Fixture: shared mutable state inside a shard-boundary file.  Every
+// construct here would let shards communicate outside the
+// BoundaryChannel / PhaseBarrier protocol and break the bit-identical
+// serial/parallel contract.
+namespace bufq {
+
+thread_local int worker_cache = 0;     // LINT[determinism-shard-boundary]
+volatile bool stop_requested = false;  // LINT[determinism-shard-boundary]
+static int windows_completed = 0;      // LINT[determinism-shard-boundary]
+
+int bump() {
+  std::atomic<int> shared_counter{0};  // LINT[determinism-shard-boundary]
+  shared_counter += worker_cache;
+  if (stop_requested) ++windows_completed;
+  return windows_completed;
+}
+
+}  // namespace bufq

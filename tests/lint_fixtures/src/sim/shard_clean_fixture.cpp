@@ -1,0 +1,15 @@
+// Clean control: a shard-boundary file using only sanctioned constructs
+// — immutable statics and static (file-local) functions are fine; the
+// determinism-shard-boundary rule must stay silent.
+namespace bufq {
+
+static constexpr int kMaxShards = 64;
+
+static int add_one(int v) { return v + 1; }
+
+int next_window(int cur) {
+  static const int kStep = 1;
+  return add_one(cur) + kStep + kMaxShards;
+}
+
+}  // namespace bufq

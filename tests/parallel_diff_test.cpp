@@ -1,0 +1,142 @@
+// Differential serial-vs-parallel suite: the parallel engine's whole
+// contract is that `--shards N` changes wall-clock time and nothing
+// else.  For every built-in topology and shard counts 2/4/8 this suite
+// runs the identical scenario serially and sharded and requires exact
+// equality of everything inside the contract: per-flow counters, delay
+// summaries, the egress audit digest (an order-insensitive FNV-1a sum
+// over every delivered packet's identity), event and drop counters, the
+// end-to-end delay histogram, the derived fabric metrics, and the
+// invariant-check tally.  Wall-clock and parallel.* diagnostics are the
+// documented exclusions.
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "fabric/scenario.h"
+#include "util/units.h"
+
+namespace bufq::fabric {
+namespace {
+
+/// Counters inside the bit-identical contract.  Wall-clock, gauge
+/// last-values and sampled calendar-depth are excluded by design.
+constexpr const char* kContractCounters[] = {
+    "sim.events",       "net.drops",          "net.drop_bytes",
+    "net.unrouted_packets", "fabric.misrouted", "fabric.egress_audit",
+};
+
+std::uint64_t counter_or_zero(const ExperimentResult& r, const std::string& name) {
+  const auto it = r.metrics.counters.find(name);
+  return it == r.metrics.counters.end() ? 0u : it->second;
+}
+
+void expect_identical(const ExperimentResult& serial, const ExperimentResult& parallel,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(serial.per_flow.size(), parallel.per_flow.size());
+  for (std::size_t f = 0; f < serial.per_flow.size(); ++f) {
+    SCOPED_TRACE("flow " + std::to_string(f));
+    EXPECT_EQ(serial.per_flow[f].offered_bytes, parallel.per_flow[f].offered_bytes);
+    EXPECT_EQ(serial.per_flow[f].delivered_bytes, parallel.per_flow[f].delivered_bytes);
+    EXPECT_EQ(serial.per_flow[f].dropped_bytes, parallel.per_flow[f].dropped_bytes);
+    EXPECT_EQ(serial.per_flow[f].offered_packets, parallel.per_flow[f].offered_packets);
+    EXPECT_EQ(serial.per_flow[f].delivered_packets,
+              parallel.per_flow[f].delivered_packets);
+    EXPECT_EQ(serial.per_flow[f].dropped_packets, parallel.per_flow[f].dropped_packets);
+  }
+
+  ASSERT_EQ(serial.delays.size(), parallel.delays.size());
+  for (std::size_t f = 0; f < serial.delays.size(); ++f) {
+    SCOPED_TRACE("delay summary, flow " + std::to_string(f));
+    EXPECT_EQ(serial.delays[f].packets, parallel.delays[f].packets);
+    EXPECT_EQ(serial.delays[f].mean_s, parallel.delays[f].mean_s);
+    EXPECT_EQ(serial.delays[f].max_s, parallel.delays[f].max_s);
+    EXPECT_EQ(serial.delays[f].p50_s, parallel.delays[f].p50_s);
+    EXPECT_EQ(serial.delays[f].p99_s, parallel.delays[f].p99_s);
+  }
+
+  EXPECT_EQ(serial.interval, parallel.interval);
+  EXPECT_EQ(serial.checks_run, parallel.checks_run);
+  EXPECT_EQ(serial.check_violations, parallel.check_violations);
+  EXPECT_EQ(serial.check_violations, 0u);
+
+  for (const char* name : kContractCounters) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(counter_or_zero(serial, name), counter_or_zero(parallel, name));
+  }
+
+  // Full end-to-end delay distribution, bucket by bucket.
+  const auto sh = serial.metrics.histograms.find("fabric.e2e_delay_us");
+  const auto ph = parallel.metrics.histograms.find("fabric.e2e_delay_us");
+  ASSERT_NE(sh, serial.metrics.histograms.end());
+  ASSERT_NE(ph, parallel.metrics.histograms.end());
+  EXPECT_EQ(sh->second.count, ph->second.count);
+  EXPECT_EQ(sh->second.sum, ph->second.sum);
+  EXPECT_EQ(sh->second.min, ph->second.min);
+  EXPECT_EQ(sh->second.max, ph->second.max);
+  EXPECT_EQ(sh->second.buckets, ph->second.buckets);
+
+  // Derived sweep metrics are pure functions of the above, but compare
+  // them anyway — they are what the CSV pipeline publishes.
+  const std::map<std::string, double> sm = fabric_metrics(serial);
+  const std::map<std::string, double> pm = fabric_metrics(parallel);
+  EXPECT_EQ(sm, pm);
+}
+
+struct DiffCase {
+  FabricTopologyKind topology;
+  int size;
+  const char* name;
+};
+
+constexpr DiffCase kCases[] = {
+    {FabricTopologyKind::kParkingLot, 4, "parking_lot"},
+    {FabricTopologyKind::kLeafSpine, 4, "leaf_spine"},
+    {FabricTopologyKind::kFatTree, 4, "fat_tree"},
+    {FabricTopologyKind::kWanRing, 6, "wan_ring"},
+};
+
+FabricConfig diff_config(const DiffCase& c) {
+  FabricConfig config;
+  config.topology = c.topology;
+  config.size = c.size;
+  config.warmup = Time::milliseconds(150);
+  config.duration = Time::milliseconds(250);
+  config.record_delays = true;
+  return config;
+}
+
+class ParallelDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDiff, ShardedRunIsBitIdenticalToSerial) {
+  const int shards = GetParam();
+  for (const DiffCase& c : kCases) {
+    FabricConfig serial_config = diff_config(c);
+    const ExperimentResult serial = run_fabric_experiment(serial_config);
+
+    FabricConfig parallel_config = diff_config(c);
+    parallel_config.shards = shards;
+    const ExperimentResult parallel = run_fabric_experiment(parallel_config);
+
+    expect_identical(serial, parallel,
+                     std::string{c.name} + " shards=" + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ParallelDiff, ::testing::Values(2, 4, 8));
+
+// shards=1 must take the serial path outright: identical object, not
+// just identical numbers.
+TEST(ParallelDiffSerial, SingleShardConfigStaysSerial) {
+  FabricConfig config = diff_config(kCases[0]);
+  config.shards = 1;
+  const ExperimentResult result = run_fabric_experiment(config);
+  EXPECT_EQ(result.metrics.counters.count("parallel.windows"), 0u);
+  EXPECT_EQ(result.metrics.counters.count("parallel.serial_fallback"), 0u);
+}
+
+}  // namespace
+}  // namespace bufq::fabric

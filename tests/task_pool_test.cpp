@@ -120,5 +120,62 @@ TEST(TaskPoolTest, WorkSpreadsAcrossWorkers) {
   }
 }
 
+TEST(PhaseBarrierTest, SinglePartyAdvancesGenerationAndRunsCompletion) {
+  int completions = 0;
+  PhaseBarrier barrier{1, [&completions] { ++completions; }};
+  EXPECT_EQ(barrier.generation(), 0u);
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.generation(), 2u);
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(PhaseBarrierTest, CompletionRunsOncePerCycleWhileOthersWait) {
+  // The completion callback runs on the last arriver with every other
+  // party parked, so it may touch shared state without synchronization
+  // beyond the barrier itself — exactly the parallel engine's exchange
+  // step.  `sum` and `rounds` are plain ints on purpose.
+  constexpr int kParties = 4;
+  constexpr int kRounds = 50;
+  std::vector<int> contributions(kParties, 0);
+  int sum = 0;
+  int rounds = 0;
+  PhaseBarrier barrier{kParties, [&] {
+                         ++rounds;
+                         for (const int c : contributions) sum += c;
+                       }};
+  std::vector<std::thread> threads;
+  threads.reserve(kParties);
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&, p] {
+      for (int r = 0; r < kRounds; ++r) {
+        contributions[static_cast<std::size_t>(p)] = 1;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rounds, kRounds);
+  EXPECT_EQ(sum, kParties * kRounds);
+  EXPECT_EQ(barrier.generation(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(PhaseBarrierTest, ReleasesAllPartiesEachGeneration) {
+  constexpr int kParties = 3;
+  std::atomic<int> through{0};
+  PhaseBarrier barrier{kParties};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < 20; ++r) {
+        barrier.arrive_and_wait();
+        through.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(through.load(), kParties * 20);
+}
+
 }  // namespace
 }  // namespace bufq

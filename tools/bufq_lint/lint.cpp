@@ -18,6 +18,15 @@ constexpr std::string_view kDeterminismDirs[] = {
     "src/fabric/",  "src/expt/",    "src/traffic/", "src/admission/",
 };
 
+/// Path prefixes of the parallel engine's shard-boundary files, where
+/// determinism-shard-boundary applies (see lint.h).
+constexpr std::string_view kShardScopePrefixes[] = {
+    "src/sim/parallel",
+    "src/sim/shard",
+    "src/fabric/parallel",
+    "src/fabric/shard",
+};
+
 std::string normalize(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   while (path.rfind("./", 0) == 0) path.erase(0, 2);
@@ -113,6 +122,7 @@ const std::vector<std::string>& known_rules() {
       "determinism-wall-clock",
       "determinism-random-source",
       "determinism-unordered-iteration",
+      "determinism-shard-boundary",
       "hot-path-std-function",
       "hot-path-allocation",
       "hot-path-throw",
@@ -133,6 +143,12 @@ FileContext classify(const std::string& rel_path) {
   for (const std::string_view dir : kDeterminismDirs) {
     if (ctx.path.rfind(dir, 0) == 0) {
       ctx.determinism_scope = true;
+      break;
+    }
+  }
+  for (const std::string_view prefix : kShardScopePrefixes) {
+    if (ctx.path.rfind(prefix, 0) == 0) {
+      ctx.shard_scope = true;
       break;
     }
   }

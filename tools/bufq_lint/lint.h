@@ -20,6 +20,11 @@
 //   determinism-unordered-iteration  iterating an unordered container
 //                                 (address-dependent order) in
 //                                 result-affecting directories
+//   determinism-shard-boundary    thread_local / volatile / atomics /
+//                                 mutable statics in the parallel-engine
+//                                 shard-boundary files, where all
+//                                 cross-shard communication must flow
+//                                 through BoundaryChannel + PhaseBarrier
 //   hot-path-std-function         std::function inside a BUFQ_HOT body
 //   hot-path-allocation           non-placement new / malloc /
 //                                 make_unique / make_shared inside a
@@ -59,6 +64,11 @@ struct FileContext {
   /// True under src/{sim,sched,core,net,fabric,expt,traffic,admission}:
   /// the result-affecting subsystems where the determinism rules apply.
   bool determinism_scope = false;
+  /// True for the parallel engine's shard-boundary files
+  /// (src/{sim,fabric}/parallel*, src/{sim,fabric}/shard*): shared
+  /// mutable state there breaks the bit-identical contract, so the
+  /// determinism-shard-boundary rule applies.
+  bool shard_scope = false;
 };
 
 /// Derives the per-file scope flags from a root-relative path.

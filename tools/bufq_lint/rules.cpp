@@ -94,6 +94,7 @@ class FilePass {
       unordered_iteration();
       inline_action_asserts();
     }
+    if (ctx_.shard_scope) shard_boundary();
     hot_path_rules();
     apply_suppressions();
     std::stable_sort(findings_.begin(), findings_.end(),
@@ -361,6 +362,55 @@ class FilePass {
         add("determinism-unordered-iteration", code_[i].line,
             "iteration order of '" + code_[i].text +
                 "' is address-dependent; sort keys or use a dense container");
+      }
+    }
+  }
+
+  // --- shard boundary ---------------------------------------------------
+
+  /// The parallel engine's bit-identical contract requires every piece of
+  /// cross-shard state to flow through BoundaryChannel and synchronize
+  /// through PhaseBarrier.  Shared mutable state reachable from more than
+  /// one worker — thread_local caches, atomics, volatile, mutable statics
+  /// — would let shards communicate out of band and break replay, so the
+  /// shard-boundary files ban them outright.  Known imprecision: the
+  /// mutable-static heuristic treats "first '(' before ';'/'='/'{'" as a
+  /// function declaration, so a static whose *type* contains parentheses
+  /// (e.g. a function pointer) is not flagged.
+  void shard_boundary() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "thread_local") {
+        add("determinism-shard-boundary", t.line,
+            "thread_local in shard-boundary code; shard state must live in "
+            "the shard object, confined to its worker");
+      } else if (t.text == "volatile") {
+        add("determinism-shard-boundary", t.line,
+            "volatile in shard-boundary code; cross-shard data must flow "
+            "through BoundaryChannel");
+      } else if (t.text == "atomic") {
+        add("determinism-shard-boundary", t.line,
+            "atomics in shard-boundary code; synchronize through "
+            "PhaseBarrier, not ad-hoc shared state");
+      } else if (t.text == "static") {
+        bool mutable_static = false;
+        for (std::size_t k = i + 1; k < code_.size(); ++k) {
+          const Token& u = code_[k];
+          if (is_ident(u, "const") || is_ident(u, "constexpr") ||
+              is_punct(u, "(")) {
+            break;  // immutable, or a function declaration
+          }
+          if (is_punct(u, ";") || is_punct(u, "=") || is_punct(u, "{")) {
+            mutable_static = true;
+            break;
+          }
+        }
+        if (mutable_static) {
+          add("determinism-shard-boundary", t.line,
+              "mutable static in shard-boundary code; shared mutable state "
+              "breaks the bit-identical serial/parallel contract");
+        }
       }
     }
   }
